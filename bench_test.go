@@ -1,0 +1,102 @@
+// Benchmarks regenerating every table and figure of the Fg-STP
+// evaluation, one per experiment (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for recorded results). Each benchmark iteration runs
+// the full experiment at a reduced per-simulation instruction budget;
+// the reported metrics (geomeans) are attached via b.ReportMetric so
+// `go test -bench` output shows the reproduced numbers alongside the
+// timing.
+//
+// Regenerate the full-size evaluation with:
+//
+//	go run ./cmd/fgstpbench -experiment all
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchInsts is the per-simulation instruction budget for benchmark
+// runs, reduced from the harness default (100k) to keep -bench wall
+// time reasonable.
+const benchInsts = 20_000
+
+// runExperiment executes experiment id once per iteration and reports
+// its headline metrics.
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchInsts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, mkey := range metrics {
+				if v, ok := res.Metrics[mkey]; ok {
+					b.ReportMetric(v, mkey)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE1_Configs regenerates the machine-configuration table.
+func BenchmarkE1_Configs(b *testing.B) {
+	runExperiment(b, "E1")
+}
+
+// BenchmarkE2_MediumSpeedup regenerates the headline per-benchmark
+// speedup figure on the medium 2-core CMP (paper: Fg-STP ≈ +18% over
+// Core Fusion geomean).
+func BenchmarkE2_MediumSpeedup(b *testing.B) {
+	runExperiment(b, "E2", "geomean_fgstp_vs_single", "geomean_fgstp_vs_fusion")
+}
+
+// BenchmarkE3_SmallSpeedup regenerates the small-CMP speedup figure
+// (paper: ≈ +7% over Core Fusion).
+func BenchmarkE3_SmallSpeedup(b *testing.B) {
+	runExperiment(b, "E3", "geomean_fgstp_vs_single", "geomean_fgstp_vs_fusion")
+}
+
+// BenchmarkE4_Ablation regenerates the mechanism-ablation figure.
+func BenchmarkE4_Ablation(b *testing.B) {
+	runExperiment(b, "E4", "geomean_full", "geomean_no-replication",
+		"geomean_no-dep-speculation")
+}
+
+// BenchmarkE5_CommLatency regenerates the communication-latency
+// sensitivity figure.
+func BenchmarkE5_CommLatency(b *testing.B) {
+	runExperiment(b, "E5", "geomean_lat1", "geomean_lat8")
+}
+
+// BenchmarkE6_CommBandwidth regenerates the bandwidth/queue
+// sensitivity figure.
+func BenchmarkE6_CommBandwidth(b *testing.B) {
+	runExperiment(b, "E6", "geomean_bw1", "geomean_bw4")
+}
+
+// BenchmarkE7_Window regenerates the lookahead-window sensitivity
+// figure.
+func BenchmarkE7_Window(b *testing.B) {
+	runExperiment(b, "E7", "geomean_win64", "geomean_win512")
+}
+
+// BenchmarkE8_Characterisation regenerates the mechanism
+// characterisation table.
+func BenchmarkE8_Characterisation(b *testing.B) {
+	runExperiment(b, "E8", "mean_core1_frac", "mean_replicated_frac",
+		"mean_comm_per_kinst")
+}
+
+// BenchmarkE9_StoreSets regenerates the memory-dependence predictor
+// sensitivity figure.
+func BenchmarkE9_StoreSets(b *testing.B) {
+	runExperiment(b, "E9", "geomean_conservative", "geomean_perfect")
+}
+
+// BenchmarkE10_SuiteSplit regenerates the SPECint/SPECfp breakdown.
+func BenchmarkE10_SuiteSplit(b *testing.B) {
+	runExperiment(b, "E10", "medium_int_fgstp_vs_fusion", "medium_fp_fgstp_vs_fusion")
+}

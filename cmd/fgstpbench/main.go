@@ -1,0 +1,57 @@
+// Command fgstpbench regenerates the tables and figures of the Fg-STP
+// evaluation. Each experiment E1..E10 corresponds to one table or
+// figure of the paper as reconstructed in DESIGN.md; EXPERIMENTS.md
+// records the measured results against the paper's reported shape.
+//
+// Usage:
+//
+//	fgstpbench -experiment E2          # one experiment
+//	fgstpbench -experiment all         # the full paper evaluation (E1..E10)
+//	fgstpbench -experiment E11         # extension: energy model
+//	fgstpbench -experiment E12         # extension: adaptive reconfiguration
+//	fgstpbench -insts 50000            # per-run instruction budget
+//	fgstpbench -list                   # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "experiment id (E1..E10) or \"all\"")
+		insts = flag.Uint64("insts", 100_000, "dynamic instructions per simulation")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		for _, id := range experiments.ExtensionIDs() {
+			fmt.Println(id + " (extension)")
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, *insts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgstpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("   (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

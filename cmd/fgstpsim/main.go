@@ -1,0 +1,156 @@
+// Command fgstpsim runs one workload on one machine configuration in
+// one execution mode and prints a full simulation report.
+//
+// Usage:
+//
+//	fgstpsim [flags]
+//
+//	-workload name   workload to run (default mcf); -list shows all
+//	-machine  name   machine preset: small | medium (default medium)
+//	-mode     name   single | corefusion | fgstp | all (default all)
+//	-insts    n      dynamic instructions to simulate (default 100000)
+//	-config   file   JSON machine config overriding -machine
+//	-savetrace file  capture the workload trace to a file and exit
+//	-loadtrace file  replay a previously saved trace
+//	-dumpconfig      print the machine preset as JSON and exit
+//	-list            list workloads and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "mcf", "workload name (-list to enumerate)")
+		machine    = flag.String("machine", "medium", "machine preset: small | medium")
+		mode       = flag.String("mode", "all", "execution mode: single | corefusion | fgstp | all")
+		insts      = flag.Uint64("insts", 100_000, "dynamic instructions to simulate")
+		configPath = flag.String("config", "", "JSON machine configuration file")
+		dumpConfig = flag.Bool("dumpconfig", false, "print the machine preset as JSON and exit")
+		list       = flag.Bool("list", false, "list workloads and exit")
+		saveTrace  = flag.String("savetrace", "", "capture the workload trace to this file and exit")
+		loadTrace  = flag.String("loadtrace", "", "replay a trace file instead of capturing the workload")
+	)
+	flag.Parse()
+
+	if *list {
+		listWorkloads()
+		return
+	}
+
+	m, err := loadMachine(*machine, *configPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpConfig {
+		data, err := m.ToJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	var tr *trace.Trace
+	if *loadTrace != "" {
+		var err error
+		tr, err = trace.LoadFile(*loadTrace)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace    %s (%d instructions from %s)\n", tr.Name, tr.Len(), *loadTrace)
+		fmt.Printf("machine  %s\n\n", m.Name)
+	} else {
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (use -list)", *workload))
+		}
+		fmt.Printf("workload %s (%s): %s\n", w.Name, w.Suite, w.Description)
+		fmt.Printf("machine  %s, %d instructions\n\n", m.Name, *insts)
+		tr = w.Trace(*insts)
+		if uint64(tr.Len()) < *insts {
+			fmt.Printf("note: timed region ended after %d instructions\n\n", tr.Len())
+		}
+	}
+	if *saveTrace != "" {
+		if err := tr.SaveFile(*saveTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace saved to %s\n", *saveTrace)
+		return
+	}
+
+	modes := []cmp.Mode{cmp.ModeSingle, cmp.ModeFusion, cmp.ModeFgSTP}
+	if *mode != "all" {
+		md, err := cmp.ParseMode(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		modes = []cmp.Mode{md}
+	}
+
+	var runs []stats.Run
+	for _, md := range modes {
+		r, err := cmp.Run(m, md, tr)
+		if err != nil {
+			fatal(err)
+		}
+		runs = append(runs, r)
+		printRun(&r)
+	}
+	if len(runs) > 1 {
+		fmt.Println("speedups:")
+		base := &runs[0]
+		for i := 1; i < len(runs); i++ {
+			fmt.Printf("  %-12s over %-8s %.3fx\n",
+				runs[i].Mode, base.Mode, stats.Speedup(base, &runs[i]))
+		}
+	}
+}
+
+func loadMachine(preset, path string) (config.Machine, error) {
+	if path == "" {
+		return config.ByName(preset)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return config.Machine{}, err
+	}
+	return config.FromJSON(data)
+}
+
+func listWorkloads() {
+	tb := stats.NewTable("workloads", "name", "suite", "description")
+	for _, w := range workloads.All() {
+		tb.AddRow(w.Name, w.Suite, w.Description)
+	}
+	fmt.Print(tb.String())
+}
+
+func printRun(r *stats.Run) {
+	fmt.Printf("[%s] cycles=%d insts=%d IPC=%.3f\n", r.Mode, r.Cycles, r.Insts, r.IPC())
+	keys := make([]string, 0, len(r.Extra))
+	for k := range r.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("    %-24s %.4f\n", k, r.Extra[k])
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fgstpsim:", err)
+	os.Exit(1)
+}

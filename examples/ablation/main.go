@@ -1,0 +1,67 @@
+// Ablation: dissect the Fg-STP mechanisms on one workload by turning
+// them off one at a time and re-running — a direct, instrumented view
+// of what each design decision buys (experiment E4 at single-workload
+// granularity, using the Machine API for internals).
+//
+//	go run ./examples/ablation [-workload hmmer] [-insts 60000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "hmmer", "workload to dissect")
+	insts := flag.Uint64("insts", 60_000, "instructions to simulate")
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	tr := w.Trace(*insts)
+	fmt.Printf("workload %s: %s\n\n", w.Name, w.Description)
+
+	base := config.Medium()
+	single, err := cmp.Run(base, cmp.ModeSingle, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	variants := []struct {
+		name   string
+		mutate func(*config.Machine)
+	}{
+		{"full Fg-STP", func(*config.Machine) {}},
+		{"no replication", func(m *config.Machine) { m.FgSTP.Replication = false }},
+		{"no dependence speculation", func(m *config.Machine) { m.FgSTP.DepSpeculation = false }},
+		{"round-robin steering", func(m *config.Machine) { m.FgSTP.Steering = "roundrobin" }},
+		{"64-instruction chunks", func(m *config.Machine) { m.FgSTP.Steering = "chunk64" }},
+		{"4-cycle communication", func(m *config.Machine) { m.FgSTP.CommLatency = 4 }},
+		{"64-instruction window", func(m *config.Machine) { m.FgSTP.Window = 64 }},
+	}
+
+	tb := stats.NewTable("ablation vs single core",
+		"variant", "IPC", "speedup", "comm/kinst", "replicated", "squashes")
+	for _, v := range variants {
+		cfg := config.Medium()
+		v.mutate(&cfg)
+		// Use the Machine API directly so the steering internals are
+		// inspectable.
+		m := core.NewMachine(cfg, tr)
+		cycles := m.Drain()
+		r := m.Summarize(cycles)
+		tb.AddRowf(v.name, r.IPC(), stats.Speedup(&single, &r),
+			r.Get("comm_per_kinst"), r.Get("replicated_frac"), r.Get("squashes"))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nsingle-core baseline: IPC %.3f over %d cycles\n", single.IPC(), single.Cycles)
+}

@@ -1,0 +1,65 @@
+// Adaptive: study dynamic reconfiguration policies — when should the
+// two cores fuse into Fg-STP mode and when should they stay
+// independent? Runs a workload phase by phase under four policies
+// (always-single, always-fgstp, history predictor, oracle) and prints
+// the comparison plus the oracle's per-phase choices. An extension of
+// the reproduction; see internal/adaptive.
+//
+//	go run ./examples/adaptive [-workload astar] [-insts 60000] [-phase 10000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/adaptive"
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "astar", "workload to run")
+	insts := flag.Uint64("insts", 60_000, "instructions to simulate")
+	phase := flag.Int("phase", 10_000, "reconfiguration granularity (instructions)")
+	penalty := flag.Uint64("penalty", 200, "reconfiguration penalty (cycles)")
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	tr := w.Trace(*insts)
+	cfg := adaptive.Config{PhaseInsts: *phase, SwitchPenalty: *penalty}
+	m := config.Medium()
+
+	tb, results, err := adaptive.Compare(m, tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %s\n\n", w.Name, w.Description)
+	fmt.Print(tb.String())
+
+	oracle := results[adaptive.PolicyOracle]
+	fmt.Println("\noracle per-phase choices (s = single, F = Fg-STP):")
+	var line strings.Builder
+	for _, p := range oracle.Phases {
+		if p.Chosen == cmp.ModeFgSTP {
+			line.WriteByte('F')
+		} else {
+			line.WriteByte('s')
+		}
+	}
+	fmt.Println("  " + line.String())
+
+	best := results[adaptive.PolicyOracle]
+	static := results[adaptive.PolicyAlwaysFgSTP]
+	if best.TotalCycles < static.TotalCycles {
+		fmt.Printf("\nadaptivity saves %.1f%% over always-Fg-STP on this workload\n",
+			(1-float64(best.TotalCycles)/float64(static.TotalCycles))*100)
+	} else {
+		fmt.Println("\nthis workload wants Fg-STP throughout: static reconfiguration suffices")
+	}
+}

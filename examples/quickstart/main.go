@@ -1,0 +1,57 @@
+// Quickstart: build a machine, run one workload in all three execution
+// modes, and print the comparison — the five-minute tour of the
+// library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// 1. Pick a machine preset (the paper's medium 2-core CMP) and a
+	//    workload (the mcf-like pointer chaser).
+	machine := config.Medium()
+	w, ok := workloads.ByName("hmmer")
+	if !ok {
+		log.Fatal("workload not found")
+	}
+	fmt.Printf("machine:  %s (2 x %d-wide cores, shared %d KiB L2)\n",
+		machine.Name, machine.Core.IssueWidth, machine.Hier.L2.SizeBytes>>10)
+	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
+
+	// 2. Capture a dynamic trace of the workload's timed region. The
+	//    same trace drives every mode, so comparisons are exact.
+	tr := w.Trace(100_000)
+
+	// 3. Run the three modes the paper compares: a single conventional
+	//    core, the two cores fused Core Fusion style, and the two cores
+	//    reconfigured as an Fg-STP pair.
+	runs, err := cmp.RunAll(machine, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	single := runs[cmp.ModeSingle]
+	tb := stats.NewTable("results", "mode", "cycles", "IPC", "speedup")
+	for _, mode := range cmp.Modes() {
+		r := runs[mode]
+		tb.AddRowf(string(mode), fmt.Sprintf("%d", r.Cycles), r.IPC(),
+			stats.Speedup(&single, &r))
+	}
+	fmt.Print(tb.String())
+
+	g := runs[cmp.ModeFgSTP]
+	fmt.Printf("\nFg-STP internals: %.0f%% of instructions on core 1, "+
+		"%.1f%% replicated, %.1f value transfers per kinst, %v squashes\n",
+		g.Get("steer_core1_frac")*100, g.Get("replicated_frac")*100,
+		g.Get("comm_per_kinst"), g.Get("squashes"))
+}

@@ -1,0 +1,81 @@
+// Sampling: SimPoint-style sampled simulation — cluster a workload's
+// intervals by execution signature, simulate one representative per
+// cluster, and compare the weighted estimate against the full-trace
+// result, in both single-core and Fg-STP modes. Demonstrates the
+// methodology substrate (internal/simpoint) that makes long-workload
+// studies tractable.
+//
+// Sampling error depends on warmup adequacy: streaming workloads
+// (bzip2, lbm) sample within a few percent; cache-resident ones (gcc)
+// need -warmup comparable to their working-set reuse distance.
+//
+//	go run ./examples/sampling [-workload bzip2] [-insts 80000] [-interval 5000] [-warmup 2500] [-k 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/simpoint"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "bzip2", "workload to sample")
+	insts := flag.Uint64("insts", 80_000, "full-trace length")
+	interval := flag.Int("interval", 5_000, "interval size (instructions)")
+	warmup := flag.Int("warmup", 2_500, "cold-start warmup instructions per point (raise for cache-resident workloads)")
+	k := flag.Int("k", 6, "max clusters / simulation points")
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	tr := w.Trace(*insts)
+	m := config.Medium()
+
+	reps, err := simpoint.Choose(tr, *interval, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := (tr.Len() + *interval - 1) / *interval
+	fmt.Printf("workload %s: %d intervals of %d insts, %d simulation points chosen\n\n",
+		w.Name, total, *interval, len(reps))
+	for _, r := range reps {
+		fmt.Printf("  point at interval %3d (inst %6d), weight %.2f\n",
+			r.Interval, r.Start, r.Weight)
+	}
+	fmt.Println()
+
+	tb := stats.NewTable("full vs sampled CPI", "mode", "full CPI", "sampled CPI", "error")
+	for _, mode := range []cmp.Mode{cmp.ModeSingle, cmp.ModeFgSTP} {
+		full, err := cmp.Run(m, mode, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullCPI := float64(full.Cycles) / float64(full.Insts)
+
+		sim := func(start, end int) (uint64, uint64, error) {
+			run, err := cmp.Run(m, mode, tr.Slice(start, end))
+			if err != nil {
+				return 0, 0, err
+			}
+			return run.Cycles, run.Insts, nil
+		}
+		sampled, err := simpoint.EstimateCPI(reps, *interval, *warmup, tr.Len(), sim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRowf(string(mode), fullCPI, sampled,
+			fmt.Sprintf("%.1f%%", math.Abs(sampled-fullCPI)/fullCPI*100))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nsimulated %d of %d intervals (%.0f%% of the work)\n",
+		len(reps), total, float64(len(reps))/float64(total)*100)
+}

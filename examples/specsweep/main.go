@@ -1,0 +1,59 @@
+// Specsweep: run the whole SPEC-2006-like suite on both machine
+// presets in all three modes and print the per-benchmark speedup
+// figure — a miniature of experiments E2/E3 driven directly through the
+// public simulation API.
+//
+//	go run ./examples/specsweep [-insts 40000] [-machine medium|small|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	insts := flag.Uint64("insts", 40_000, "instructions per simulation")
+	machine := flag.String("machine", "both", "machine preset: small | medium | both")
+	flag.Parse()
+
+	names := []string{"small", "medium"}
+	if *machine != "both" {
+		names = []string{*machine}
+	}
+	for _, name := range names {
+		m, err := config.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep(m, *insts)
+	}
+}
+
+func sweep(m config.Machine, insts uint64) {
+	tb := stats.NewTable(
+		fmt.Sprintf("%s machine, %d insts/run", m.Name, insts),
+		"benchmark", "suite", "single IPC", "fusion IPC", "fgstp IPC",
+		"fgstp/single", "fgstp/fusion")
+	var vsSingle, vsFusion []float64
+	for _, w := range workloads.All() {
+		tr := w.Trace(insts)
+		runs, err := cmp.RunAll(m, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, f, g := runs[cmp.ModeSingle], runs[cmp.ModeFusion], runs[cmp.ModeFgSTP]
+		vsSingle = append(vsSingle, stats.Speedup(&s, &g))
+		vsFusion = append(vsFusion, stats.Speedup(&f, &g))
+		tb.AddRowf(w.Name, w.Suite, s.IPC(), f.IPC(), g.IPC(),
+			stats.Speedup(&s, &g), stats.Speedup(&f, &g))
+	}
+	tb.AddRowf("GEOMEAN", "", "", "", "",
+		stats.Geomean(vsSingle), stats.Geomean(vsFusion))
+	fmt.Println(tb.String())
+}

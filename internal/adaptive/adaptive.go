@@ -1,0 +1,207 @@
+// Package adaptive studies dynamic reconfiguration — the deployment
+// story the Fg-STP paper implies: the two cores are *reconfigured* into
+// Fg-STP mode when a single thread benefits, and back to independent
+// cores when it does not. This package models a phase-granularity
+// controller that chooses the execution mode per phase of a program,
+// charging a reconfiguration penalty on every switch.
+//
+// It is an extension of the reproduction (the paper evaluates the
+// steady-state modes; region-level policy is future work there). Phase
+// simulations start from cold microarchitectural state — an
+// approximation applied identically to every mode, so relative phase
+// comparisons hold.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Policy selects how the controller picks a mode for each phase.
+type Policy string
+
+// Policies.
+const (
+	// PolicyOracle picks each phase's fastest mode — the upper bound.
+	PolicyOracle Policy = "oracle"
+	// PolicyHistory runs the mode that won the previous phase — a
+	// realistic last-value predictor with one-phase lag.
+	PolicyHistory Policy = "history"
+	// PolicyAlwaysFgSTP stays reconfigured for the whole run.
+	PolicyAlwaysFgSTP Policy = "fgstp"
+	// PolicyAlwaysSingle never reconfigures.
+	PolicyAlwaysSingle Policy = "single"
+)
+
+// Policies lists all policies in comparison order.
+func Policies() []Policy {
+	return []Policy{PolicyAlwaysSingle, PolicyAlwaysFgSTP, PolicyHistory, PolicyOracle}
+}
+
+// Config parameterises the controller.
+type Config struct {
+	// PhaseInsts is the reconfiguration granularity in instructions.
+	PhaseInsts int
+	// SwitchPenalty is the cycle cost of a reconfiguration (drain the
+	// pipeline, migrate architectural state, redirect fetch).
+	SwitchPenalty uint64
+}
+
+// DefaultConfig is a 10k-instruction phase with a 200-cycle switch.
+func DefaultConfig() Config {
+	return Config{PhaseInsts: 10_000, SwitchPenalty: 200}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.PhaseInsts < 100 {
+		return fmt.Errorf("adaptive: phase of %d insts too small", c.PhaseInsts)
+	}
+	return nil
+}
+
+// Phase records one phase's measurements and the controller's choice.
+type Phase struct {
+	Index        int
+	Insts        int
+	CyclesSingle uint64
+	CyclesFgSTP  uint64
+	Chosen       cmp.Mode
+	Switched     bool
+}
+
+// Result summarises an adaptive run.
+type Result struct {
+	Workload string
+	Policy   Policy
+	Phases   []Phase
+	// TotalCycles includes switch penalties.
+	TotalCycles uint64
+	Switches    int
+	Insts       uint64
+}
+
+// IPC returns committed instructions per cycle including switch costs.
+func (r *Result) IPC() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.TotalCycles)
+}
+
+// Run simulates tr phase by phase under the given policy. Both modes
+// are measured for every phase (the measurements drive oracle/history
+// decisions and let callers compare policies from one Result set).
+func Run(m config.Machine, tr *trace.Trace, cfg Config, policy Policy) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if tr.Len() == 0 {
+		return Result{}, fmt.Errorf("adaptive: empty trace")
+	}
+	res := Result{Workload: tr.Name, Policy: policy, Insts: uint64(tr.Len())}
+	prevChoice := cmp.ModeSingle // cores start unreconfigured
+	first := true
+
+	for start := 0; start < tr.Len(); start += cfg.PhaseInsts {
+		end := start + cfg.PhaseInsts
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		sub := tr.Slice(start, end)
+		single, err := cmp.Run(m, cmp.ModeSingle, sub)
+		if err != nil {
+			return Result{}, err
+		}
+		fgstp, err := cmp.Run(m, cmp.ModeFgSTP, sub)
+		if err != nil {
+			return Result{}, err
+		}
+		ph := Phase{
+			Index:        len(res.Phases),
+			Insts:        sub.Len(),
+			CyclesSingle: single.Cycles,
+			CyclesFgSTP:  fgstp.Cycles,
+		}
+
+		switch policy {
+		case PolicyOracle:
+			if ph.CyclesFgSTP < ph.CyclesSingle {
+				ph.Chosen = cmp.ModeFgSTP
+			} else {
+				ph.Chosen = cmp.ModeSingle
+			}
+		case PolicyHistory:
+			if first {
+				// Cold start: sample in single-core mode.
+				ph.Chosen = cmp.ModeSingle
+			} else {
+				ph.Chosen = prevWinner(res.Phases[len(res.Phases)-1])
+			}
+		case PolicyAlwaysFgSTP:
+			ph.Chosen = cmp.ModeFgSTP
+		case PolicyAlwaysSingle:
+			ph.Chosen = cmp.ModeSingle
+		default:
+			return Result{}, fmt.Errorf("adaptive: unknown policy %q", policy)
+		}
+
+		cycles := ph.CyclesSingle
+		if ph.Chosen == cmp.ModeFgSTP {
+			cycles = ph.CyclesFgSTP
+		}
+		if !first && ph.Chosen != prevChoice {
+			ph.Switched = true
+			res.Switches++
+			cycles += cfg.SwitchPenalty
+		}
+		if first && ph.Chosen == cmp.ModeFgSTP {
+			// Initial reconfiguration also costs.
+			ph.Switched = true
+			res.Switches++
+			cycles += cfg.SwitchPenalty
+		}
+		res.TotalCycles += cycles
+		prevChoice = ph.Chosen
+		first = false
+		res.Phases = append(res.Phases, ph)
+	}
+	return res, nil
+}
+
+func prevWinner(p Phase) cmp.Mode {
+	if p.CyclesFgSTP < p.CyclesSingle {
+		return cmp.ModeFgSTP
+	}
+	return cmp.ModeSingle
+}
+
+// Compare runs every policy on the same trace and returns a formatted
+// table plus per-policy IPCs keyed by policy name.
+func Compare(m config.Machine, tr *trace.Trace, cfg Config) (*stats.Table, map[Policy]Result, error) {
+	tb := stats.NewTable(
+		fmt.Sprintf("adaptive reconfiguration on %s (%d-inst phases, %d-cycle switch)",
+			tr.Name, cfg.PhaseInsts, cfg.SwitchPenalty),
+		"policy", "cycles", "IPC", "switches", "fgstp phases")
+	out := make(map[Policy]Result, 4)
+	for _, p := range Policies() {
+		r, err := Run(m, tr, cfg, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[p] = r
+		fg := 0
+		for _, ph := range r.Phases {
+			if ph.Chosen == cmp.ModeFgSTP {
+				fg++
+			}
+		}
+		tb.AddRowf(string(p), fmt.Sprintf("%d", r.TotalCycles), r.IPC(),
+			r.Switches, fmt.Sprintf("%d/%d", fg, len(r.Phases)))
+	}
+	return tb, out, nil
+}

@@ -1,0 +1,357 @@
+// Package bpred implements the branch prediction substrate: 2-bit
+// bimodal, gshare and tournament direction predictors, a set-
+// associative branch target buffer for indirect jumps, and a return
+// address stack.
+//
+// The timing models are trace driven: they predict at fetch time,
+// compare against the trace's recorded outcome to detect a
+// misprediction, and train the predictor immediately. Immediate update
+// slightly flatters accuracy relative to commit-time training but does
+// so identically for every machine mode, so mode-vs-mode comparisons
+// (the reproduction target) are unaffected.
+package bpred
+
+import "fmt"
+
+// Config selects and sizes a predictor.
+type Config struct {
+	// Kind is "bimodal", "gshare" or "tournament".
+	Kind string
+	// TableBits sizes the pattern history tables (2^TableBits 2-bit
+	// counters each).
+	TableBits int
+	// HistoryBits is the global history length for gshare/tournament.
+	HistoryBits int
+	// BTBEntries and BTBAssoc size the branch target buffer.
+	BTBEntries int
+	BTBAssoc   int
+	// RASDepth is the return address stack depth.
+	RASDepth int
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch c.Kind {
+	case "bimodal", "gshare", "tournament":
+	default:
+		return fmt.Errorf("bpred: unknown kind %q", c.Kind)
+	}
+	if c.TableBits < 4 || c.TableBits > 24 {
+		return fmt.Errorf("bpred: table bits %d out of range [4,24]", c.TableBits)
+	}
+	if c.HistoryBits < 0 || c.HistoryBits > 32 {
+		return fmt.Errorf("bpred: history bits %d out of range [0,32]", c.HistoryBits)
+	}
+	if c.BTBEntries <= 0 || c.BTBAssoc <= 0 || c.BTBEntries%c.BTBAssoc != 0 {
+		return fmt.Errorf("bpred: bad BTB geometry %d/%d", c.BTBEntries, c.BTBAssoc)
+	}
+	if c.RASDepth <= 0 {
+		return fmt.Errorf("bpred: RAS depth %d must be positive", c.RASDepth)
+	}
+	return nil
+}
+
+// Default returns the predictor configuration the machine presets use:
+// a tournament predictor with 4K-entry tables, 12 bits of history, a
+// 512-entry 4-way BTB and a 16-deep RAS.
+func Default() Config {
+	return Config{
+		Kind:        "tournament",
+		TableBits:   12,
+		HistoryBits: 12,
+		BTBEntries:  512,
+		BTBAssoc:    4,
+		RASDepth:    16,
+	}
+}
+
+// counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Predictor is a complete front-end prediction unit: direction
+// predictor, BTB and RAS, plus accuracy counters.
+type Predictor struct {
+	cfg Config
+
+	bimodal []counter // also the "local" side of the tournament
+	gshare  []counter
+	chooser []counter // tournament meta-predictor: >=2 means use gshare
+	history uint64
+	histMsk uint64
+
+	btb *btb
+	ras *ras
+
+	// Accuracy counters.
+	DirLookups    uint64
+	DirMispredict uint64
+	TgtLookups    uint64
+	TgtMispredict uint64
+}
+
+// New builds a predictor; it panics on an invalid configuration (the
+// config packages validate presets before they get here).
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	size := 1 << cfg.TableBits
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]counter, size),
+		btb:     newBTB(cfg.BTBEntries, cfg.BTBAssoc),
+		ras:     newRAS(cfg.RASDepth),
+	}
+	if cfg.HistoryBits > 0 {
+		p.histMsk = (1 << cfg.HistoryBits) - 1
+	}
+	if cfg.Kind != "bimodal" {
+		p.gshare = make([]counter, size)
+	}
+	if cfg.Kind == "tournament" {
+		p.chooser = make([]counter, size)
+		// Start weakly preferring gshare, matching common initial bias.
+		for i := range p.chooser {
+			p.chooser[i] = 2
+		}
+	}
+	// Initialise direction counters weakly taken: loops dominate and
+	// cold predictions of not-taken would charge warmup mispredicts
+	// inconsistently across trace lengths.
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) int {
+	return int((pc >> 2) & uint64(len(p.bimodal)-1))
+}
+
+func (p *Predictor) gshareIndex(pc uint64) int {
+	return int(((pc >> 2) ^ (p.history & p.histMsk)) & uint64(len(p.gshare)-1))
+}
+
+// PredictDirection returns the predicted direction for the conditional
+// branch at pc.
+func (p *Predictor) PredictDirection(pc uint64) bool {
+	switch p.cfg.Kind {
+	case "bimodal":
+		return p.bimodal[p.index(pc)].taken()
+	case "gshare":
+		return p.gshare[p.gshareIndex(pc)].taken()
+	default: // tournament
+		if p.chooser[p.index(pc)].taken() {
+			return p.gshare[p.gshareIndex(pc)].taken()
+		}
+		return p.bimodal[p.index(pc)].taken()
+	}
+}
+
+// ObserveBranch predicts the branch at pc, trains on the actual
+// outcome, and reports whether the prediction was correct.
+func (p *Predictor) ObserveBranch(pc uint64, taken bool) bool {
+	p.DirLookups++
+
+	bi := p.index(pc)
+	bimodalPred := p.bimodal[bi].taken()
+	var gsharePred bool
+	var gi int
+	if p.gshare != nil {
+		gi = p.gshareIndex(pc)
+		gsharePred = p.gshare[gi].taken()
+	}
+
+	var pred bool
+	switch p.cfg.Kind {
+	case "bimodal":
+		pred = bimodalPred
+	case "gshare":
+		pred = gsharePred
+	default:
+		if p.chooser[bi].taken() {
+			pred = gsharePred
+		} else {
+			pred = bimodalPred
+		}
+		// Train the chooser toward whichever component was right when
+		// they disagree.
+		if bimodalPred != gsharePred {
+			p.chooser[bi] = p.chooser[bi].update(gsharePred == taken)
+		}
+	}
+
+	p.bimodal[bi] = p.bimodal[bi].update(taken)
+	if p.gshare != nil {
+		p.gshare[gi] = p.gshare[gi].update(taken)
+		p.history = (p.history << 1) | b2u(taken)
+	}
+
+	if pred != taken {
+		p.DirMispredict++
+		return false
+	}
+	return true
+}
+
+// ObserveIndirect predicts the target of the indirect jump at pc
+// through the BTB, trains with the actual target, and reports whether
+// the prediction was correct.
+func (p *Predictor) ObserveIndirect(pc, target uint64) bool {
+	p.TgtLookups++
+	pred, ok := p.btb.lookup(pc)
+	p.btb.insert(pc, target)
+	if !ok || pred != target {
+		p.TgtMispredict++
+		return false
+	}
+	return true
+}
+
+// ObserveCall pushes the return address for a call at pc.
+func (p *Predictor) ObserveCall(retAddr uint64) { p.ras.push(retAddr) }
+
+// ObserveReturn predicts a return through the RAS and reports whether
+// the prediction was correct.
+func (p *Predictor) ObserveReturn(target uint64) bool {
+	p.TgtLookups++
+	pred, ok := p.ras.pop()
+	if !ok || pred != target {
+		p.TgtMispredict++
+		return false
+	}
+	return true
+}
+
+// Accuracy returns the direction prediction accuracy in [0,1].
+func (p *Predictor) Accuracy() float64 {
+	if p.DirLookups == 0 {
+		return 1
+	}
+	return 1 - float64(p.DirMispredict)/float64(p.DirLookups)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btb is a set-associative branch target buffer with LRU replacement.
+type btb struct {
+	sets  int
+	assoc int
+	tags  []uint64
+	tgts  []uint64
+	valid []bool
+	lru   []uint8
+}
+
+func newBTB(entries, assoc int) *btb {
+	sets := entries / assoc
+	// Round sets down to a power of two for cheap indexing.
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	n := sets * assoc
+	return &btb{
+		sets: sets, assoc: assoc,
+		tags: make([]uint64, n), tgts: make([]uint64, n),
+		valid: make([]bool, n), lru: make([]uint8, n),
+	}
+}
+
+func (b *btb) set(pc uint64) int { return int((pc >> 2) & uint64(b.sets-1)) }
+
+func (b *btb) lookup(pc uint64) (uint64, bool) {
+	base := b.set(pc) * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.touch(base, w)
+			return b.tgts[i], true
+		}
+	}
+	return 0, false
+}
+
+func (b *btb) insert(pc, target uint64) {
+	base := b.set(pc) * b.assoc
+	victim := 0
+	for w := 0; w < b.assoc; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.tgts[i] = target
+			b.touch(base, w)
+			return
+		}
+		if !b.valid[i] {
+			victim = w
+			break
+		}
+		if b.lru[i] > b.lru[base+victim] {
+			victim = w
+		}
+	}
+	i := base + victim
+	b.tags[i], b.tgts[i], b.valid[i] = pc, target, true
+	b.touch(base, victim)
+}
+
+// touch marks way w most recently used within the set at base.
+func (b *btb) touch(base, w int) {
+	for k := 0; k < b.assoc; k++ {
+		if b.lru[base+k] < 255 {
+			b.lru[base+k]++
+		}
+	}
+	b.lru[base+w] = 0
+}
+
+// ras is a circular return address stack; overflow overwrites the
+// oldest entry, underflow fails the prediction, as in real hardware.
+type ras struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+func newRAS(depth int) *ras {
+	return &ras{stack: make([]uint64, depth)}
+}
+
+func (r *ras) push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+func (r *ras) pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top], true
+}

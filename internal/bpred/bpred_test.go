@@ -1,0 +1,220 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Kind: "magic", TableBits: 12, BTBEntries: 64, BTBAssoc: 4, RASDepth: 8},
+		{Kind: "gshare", TableBits: 2, BTBEntries: 64, BTBAssoc: 4, RASDepth: 8},
+		{Kind: "gshare", TableBits: 12, HistoryBits: 50, BTBEntries: 64, BTBAssoc: 4, RASDepth: 8},
+		{Kind: "gshare", TableBits: 12, BTBEntries: 63, BTBAssoc: 4, RASDepth: 8},
+		{Kind: "gshare", TableBits: 12, BTBEntries: 64, BTBAssoc: 4, RASDepth: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter = %d, want saturated 3", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter = %d, want saturated 0", c)
+	}
+}
+
+// alwaysTaken trains any predictor kind to near-perfect accuracy.
+func TestAlwaysTakenLearned(t *testing.T) {
+	for _, kind := range []string{"bimodal", "gshare", "tournament"} {
+		cfg := Default()
+		cfg.Kind = kind
+		p := New(cfg)
+		for i := 0; i < 1000; i++ {
+			p.ObserveBranch(0x1000, true)
+		}
+		if acc := p.Accuracy(); acc < 0.99 {
+			t.Errorf("%s: always-taken accuracy %.3f, want >= 0.99", kind, acc)
+		}
+	}
+}
+
+// A strict alternation is learned by gshare (via history) but not by
+// bimodal — the classic demonstration that history helps.
+func TestGshareBeatsBimodalOnAlternation(t *testing.T) {
+	run := func(kind string) float64 {
+		cfg := Default()
+		cfg.Kind = kind
+		p := New(cfg)
+		taken := false
+		for i := 0; i < 4000; i++ {
+			p.ObserveBranch(0x2000, taken)
+			taken = !taken
+		}
+		return p.Accuracy()
+	}
+	bi, gs := run("bimodal"), run("gshare")
+	if gs < 0.95 {
+		t.Errorf("gshare alternation accuracy %.3f, want >= 0.95", gs)
+	}
+	if bi > 0.75 {
+		t.Errorf("bimodal alternation accuracy %.3f unexpectedly high", bi)
+	}
+	if gs <= bi {
+		t.Errorf("gshare (%.3f) must beat bimodal (%.3f) on alternation", gs, bi)
+	}
+}
+
+// The tournament predictor should be within a few percent of the better
+// component on both workload types.
+func TestTournamentAdapts(t *testing.T) {
+	cfg := Default()
+	cfg.Kind = "tournament"
+	p := New(cfg)
+	// Phase 1: alternating branch (gshare-friendly).
+	taken := false
+	for i := 0; i < 4000; i++ {
+		p.ObserveBranch(0x3000, taken)
+		taken = !taken
+	}
+	phase1 := p.Accuracy()
+	if phase1 < 0.90 {
+		t.Errorf("tournament alternation accuracy %.3f, want >= 0.90", phase1)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	cfg := Default()
+	p := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		p.ObserveBranch(0x4000, rng.Intn(2) == 0)
+	}
+	acc := p.Accuracy()
+	if acc < 0.40 || acc > 0.65 {
+		t.Errorf("random-branch accuracy %.3f, want near 0.5", acc)
+	}
+}
+
+func TestMultipleBranchesIndependent(t *testing.T) {
+	cfg := Default()
+	cfg.Kind = "bimodal"
+	p := New(cfg)
+	// Two branches with opposite bias at different PCs must both be
+	// learned.
+	for i := 0; i < 1000; i++ {
+		p.ObserveBranch(0x1000, true)
+		p.ObserveBranch(0x2000, false)
+	}
+	if acc := p.Accuracy(); acc < 0.98 {
+		t.Errorf("two biased branches accuracy %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestBTBLearnsTargets(t *testing.T) {
+	p := New(Default())
+	// First observation must miss, subsequent ones hit.
+	if p.ObserveIndirect(0x100, 0x4000) {
+		t.Error("cold BTB lookup must mispredict")
+	}
+	for i := 0; i < 10; i++ {
+		if !p.ObserveIndirect(0x100, 0x4000) {
+			t.Error("trained BTB lookup must predict correctly")
+		}
+	}
+	// Target change mispredicts once, then relearns.
+	if p.ObserveIndirect(0x100, 0x8000) {
+		t.Error("changed target must mispredict")
+	}
+	if !p.ObserveIndirect(0x100, 0x8000) {
+		t.Error("BTB must relearn new target")
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	cfg := Default()
+	cfg.BTBEntries, cfg.BTBAssoc = 16, 2
+	p := New(cfg)
+	// Fill far beyond capacity, then the earliest entries must be gone.
+	for pc := uint64(0); pc < 1024; pc += 4 {
+		p.ObserveIndirect(pc, pc+0x1000)
+	}
+	misses := 0
+	for pc := uint64(0); pc < 64; pc += 4 {
+		if _, ok := p.btb.lookup(pc); !ok {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("BTB of 16 entries must have evicted early targets")
+	}
+}
+
+func TestRASMatchesCallStack(t *testing.T) {
+	p := New(Default())
+	p.ObserveCall(0x100)
+	p.ObserveCall(0x200)
+	p.ObserveCall(0x300)
+	if !p.ObserveReturn(0x300) || !p.ObserveReturn(0x200) || !p.ObserveReturn(0x100) {
+		t.Error("RAS must predict nested returns correctly")
+	}
+	if p.ObserveReturn(0xdead) {
+		t.Error("underflowed RAS must mispredict")
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	cfg := Default()
+	cfg.RASDepth = 4
+	p := New(cfg)
+	for i := 1; i <= 6; i++ {
+		p.ObserveCall(uint64(i * 0x100))
+	}
+	// Innermost 4 still predicted.
+	for i := 6; i >= 3; i-- {
+		if !p.ObserveReturn(uint64(i * 0x100)) {
+			t.Errorf("return to %#x must hit after overflow", i*0x100)
+		}
+	}
+	// The overwritten outer frames are gone.
+	if p.ObserveReturn(0x200) {
+		t.Error("overflowed RAS entry must not predict correctly")
+	}
+}
+
+func TestAccuracyNoLookups(t *testing.T) {
+	p := New(Default())
+	if p.Accuracy() != 1 {
+		t.Error("accuracy with no lookups must be 1")
+	}
+}
+
+func TestPredictDirectionConsistentWithObserve(t *testing.T) {
+	for _, kind := range []string{"bimodal", "gshare", "tournament"} {
+		cfg := Default()
+		cfg.Kind = kind
+		p := New(cfg)
+		for i := 0; i < 100; i++ {
+			p.ObserveBranch(0x500, true)
+		}
+		if !p.PredictDirection(0x500) {
+			t.Errorf("%s: PredictDirection disagrees with trained state", kind)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package cmp composes the chip multiprocessor: it builds a machine in
+// one of the three execution modes the experiments compare — a single
+// conventional core, the two cores fused Core Fusion style, or the two
+// cores reconfigured as an Fg-STP pair — and runs a workload trace on
+// it. This is the top-level simulation API the CLI tools, examples and
+// benchmarks use.
+package cmp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/corefusion"
+	"repro/internal/ooo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Mode selects how the 2-core CMP executes a single thread.
+type Mode string
+
+// Execution modes.
+const (
+	// ModeSingle runs one conventional core; the second core idles.
+	ModeSingle Mode = "single"
+	// ModeFusion fuses the two cores into one double-width core with
+	// the Core Fusion overhead terms.
+	ModeFusion Mode = "corefusion"
+	// ModeFgSTP reconfigures the two cores as an Fg-STP pair.
+	ModeFgSTP Mode = "fgstp"
+)
+
+// Modes lists all execution modes in comparison order.
+func Modes() []Mode { return []Mode{ModeSingle, ModeFusion, ModeFgSTP} }
+
+// ParseMode validates a mode string.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeSingle, ModeFusion, ModeFgSTP:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("unknown mode %q (want single, corefusion or fgstp)", s)
+}
+
+// Run simulates tr on machine m in the given mode.
+func Run(m config.Machine, mode Mode, tr *trace.Trace) (stats.Run, error) {
+	if err := m.Validate(); err != nil {
+		return stats.Run{}, err
+	}
+	if tr.Len() == 0 {
+		return stats.Run{}, fmt.Errorf("empty trace %q", tr.Name)
+	}
+	switch mode {
+	case ModeSingle:
+		return ooo.RunTrace(m.Core, m.Hier, tr), nil
+	case ModeFusion:
+		return corefusion.Run(m, tr), nil
+	case ModeFgSTP:
+		return core.Run(m, tr), nil
+	default:
+		return stats.Run{}, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// RunWorkload captures a fresh trace of the named workload and runs it.
+func RunWorkload(m config.Machine, mode Mode, workload string, insts uint64) (stats.Run, error) {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return stats.Run{}, fmt.Errorf("unknown workload %q", workload)
+	}
+	tr := w.Trace(insts)
+	if uint64(tr.Len()) < insts {
+		return stats.Run{}, fmt.Errorf("workload %q yielded only %d of %d instructions",
+			workload, tr.Len(), insts)
+	}
+	return Run(m, mode, tr)
+}
+
+// RunAll runs tr in every mode and returns the results keyed by mode.
+func RunAll(m config.Machine, tr *trace.Trace) (map[Mode]stats.Run, error) {
+	out := make(map[Mode]stats.Run, 3)
+	for _, mode := range Modes() {
+		r, err := Run(m, mode, tr)
+		if err != nil {
+			return nil, fmt.Errorf("mode %s: %w", mode, err)
+		}
+		out[mode] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+// Package config defines the machine presets the experiments run on:
+// the small and medium core sizings (following the Core Fusion study's
+// two design points, which Fg-STP compares against), their memory
+// hierarchies, and the Fg-STP fabric parameters. Presets serialise to
+// JSON so the CLI tools can dump and accept variants.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+)
+
+// FgSTP holds the parameters of the Fg-STP coordination hardware: the
+// lookahead sequencer, steering heuristic, replication policy,
+// inter-core value channels and cross-core dependence speculation.
+type FgSTP struct {
+	// Window is the lookahead depth (instructions) the steering unit
+	// partitions over — the paper's "large instruction window".
+	Window int
+	// CommLatency is the inter-core register-value transfer latency in
+	// cycles.
+	CommLatency int
+	// CommBandwidth is the number of values per cycle per direction the
+	// channel accepts.
+	CommBandwidth int
+	// CommQueue is the per-direction in-flight value capacity; a full
+	// queue delays further transfers.
+	CommQueue int
+	// Replication enables duplicating cheap multi-consumer instructions
+	// on both cores instead of communicating their results.
+	Replication bool
+	// MaxReplicaSources caps how many register sources a replicated
+	// instruction may have (all must be available on both cores).
+	MaxReplicaSources int
+	// DepSpeculation enables cross-core memory dependence speculation;
+	// disabled, loads wait for all older remote store addresses.
+	DepSpeculation bool
+	// DepPredBits sizes the cross-core load-wait table (0 =
+	// conservative, -1 = perfect).
+	DepPredBits int
+	// UseStoreSets replaces the load-wait table with a store-set
+	// predictor (Chrysos & Emer): predicted-dependent loads wait for
+	// their specific producer store instead of all older stores.
+	UseStoreSets bool
+	// BalanceThreshold is the steering hysteresis: affinity ties stay
+	// on the current core until the instruction-count imbalance
+	// exceeds this many instructions.
+	BalanceThreshold int
+	// Steering selects the partitioning heuristic: "affinity"
+	// (dependence affinity with load balancing — the Fg-STP policy),
+	// "roundrobin" (alternate instructions), or "chunk64"
+	// (64-instruction chunks, coarse-grain strawman).
+	Steering string
+	// FetchBandwidth is the global sequencer's instructions per cycle
+	// (both I-caches fetch cooperatively).
+	FetchBandwidth int
+}
+
+// Validate reports configuration errors.
+func (f *FgSTP) Validate() error {
+	if f.Window < 8 || f.Window > 1<<16 {
+		return fmt.Errorf("fgstp: window %d out of range [8, 65536]", f.Window)
+	}
+	if f.CommLatency < 0 {
+		return fmt.Errorf("fgstp: negative comm latency")
+	}
+	if f.CommBandwidth < 1 {
+		return fmt.Errorf("fgstp: comm bandwidth %d < 1", f.CommBandwidth)
+	}
+	if f.CommQueue < 1 {
+		return fmt.Errorf("fgstp: comm queue %d < 1", f.CommQueue)
+	}
+	if f.DepPredBits < -1 || f.DepPredBits > 20 {
+		return fmt.Errorf("fgstp: dep pred bits %d out of range", f.DepPredBits)
+	}
+	switch f.Steering {
+	case "affinity", "roundrobin", "chunk64":
+	default:
+		return fmt.Errorf("fgstp: unknown steering %q", f.Steering)
+	}
+	if f.FetchBandwidth < 1 {
+		return fmt.Errorf("fgstp: fetch bandwidth %d < 1", f.FetchBandwidth)
+	}
+	if f.BalanceThreshold < 0 {
+		return fmt.Errorf("fgstp: negative balance threshold")
+	}
+	return nil
+}
+
+// Machine is a complete experimental platform: one core sizing, its
+// memory hierarchy, the fused-mode overheads and the Fg-STP fabric.
+type Machine struct {
+	Name string
+	// Core is the per-core pipeline sizing.
+	Core ooo.Config
+	// Hier is the per-core memory hierarchy (L2 shared in 2-core
+	// modes).
+	Hier mem.HierarchyConfig
+	// Fusion holds the Core Fusion overhead terms.
+	Fusion FusionOverheads
+	// FgSTP holds the Fg-STP fabric parameters.
+	FgSTP FgSTP
+}
+
+// FusionOverheads are the published pipeline costs of merging two cores
+// into one wide core (Core Fusion, ISCA 2007): extra front-end stages
+// for the fetch-management and steering-management units, and the
+// cross-cluster operand bypass latency.
+type FusionOverheads struct {
+	ExtraFrontend      int // added fetch-to-dispatch stages
+	ExtraMispredict    int // added redirect cycles
+	CrossClusterBypass int
+	// L1CrossbarLatency is added to the fused L1 hit latencies: the
+	// merged core's L1s are banked across the original arrays behind
+	// a crossbar (Core Fusion, ISCA 2007).
+	L1CrossbarLatency int
+}
+
+// Validate reports configuration errors across all components.
+func (m *Machine) Validate() error {
+	if err := m.Core.Validate(); err != nil {
+		return err
+	}
+	if err := m.Hier.Validate(); err != nil {
+		return err
+	}
+	if err := m.FgSTP.Validate(); err != nil {
+		return err
+	}
+	if m.Fusion.ExtraFrontend < 0 || m.Fusion.ExtraMispredict < 0 ||
+		m.Fusion.CrossClusterBypass < 0 || m.Fusion.L1CrossbarLatency < 0 {
+		return fmt.Errorf("machine %s: negative fusion overheads", m.Name)
+	}
+	return nil
+}
+
+// defaultFgSTP is the fabric configuration both presets share.
+func defaultFgSTP() FgSTP {
+	return FgSTP{
+		Window:            512,
+		CommLatency:       3,
+		CommBandwidth:     2,
+		CommQueue:         16,
+		Replication:       true,
+		MaxReplicaSources: 2,
+		DepSpeculation:    true,
+		DepPredBits:       11,
+		Steering:          "affinity",
+		BalanceThreshold:  8,
+		FetchBandwidth:    8,
+	}
+}
+
+// Small returns the small-core machine: a 2-issue core in the style of
+// the Core Fusion study's constituent cores.
+func Small() Machine {
+	return Machine{
+		Name: "small",
+		Core: ooo.Config{
+			Name:       "small",
+			FetchWidth: 2, FrontWidth: 2, IssueWidth: 2, CommitWidth: 2,
+			ROBSize: 48, IQSize: 16, LQSize: 12, SQSize: 12,
+			IntALU: 2, IntMulDiv: 1, FPU: 1, LoadPorts: 1, StorePorts: 1,
+			FrontendDepth: 4,
+			Clusters:      1,
+			Predictor:     bpred.Default(),
+			DepPredBits:   11,
+		},
+		Hier: mem.HierarchyConfig{
+			L1I:         mem.CacheConfig{Name: "l1i", SizeBytes: 16 << 10, LineBytes: 64, Assoc: 2, LatencyCycles: 2},
+			L1D:         mem.CacheConfig{Name: "l1d", SizeBytes: 16 << 10, LineBytes: 64, Assoc: 2, LatencyCycles: 2},
+			L2:          mem.CacheConfig{Name: "l2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 8, LatencyCycles: 10},
+			DRAMLatency: 150,
+		},
+		Fusion: FusionOverheads{ExtraFrontend: 2, ExtraMispredict: 4, CrossClusterBypass: 2, L1CrossbarLatency: 2},
+		FgSTP:  defaultFgSTP(),
+	}
+}
+
+// Medium returns the medium-core machine: a 4-issue core comparable to
+// contemporary high-end designs.
+func Medium() Machine {
+	return Machine{
+		Name: "medium",
+		Core: ooo.Config{
+			Name:       "medium",
+			FetchWidth: 4, FrontWidth: 4, IssueWidth: 4, CommitWidth: 4,
+			ROBSize: 128, IQSize: 36, LQSize: 32, SQSize: 24,
+			IntALU: 3, IntMulDiv: 1, FPU: 2, LoadPorts: 2, StorePorts: 1,
+			FrontendDepth: 5,
+			Clusters:      1,
+			Predictor:     bpred.Default(),
+			DepPredBits:   11,
+		},
+		Hier: mem.HierarchyConfig{
+			L1I:         mem.CacheConfig{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3},
+			L1D:         mem.CacheConfig{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3},
+			L2:          mem.CacheConfig{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, LatencyCycles: 12},
+			DRAMLatency: 150,
+		},
+		Fusion: FusionOverheads{ExtraFrontend: 2, ExtraMispredict: 4, CrossClusterBypass: 2, L1CrossbarLatency: 2},
+		FgSTP:  defaultFgSTP(),
+	}
+}
+
+// ByName returns a preset by name.
+func ByName(name string) (Machine, error) {
+	switch name {
+	case "small":
+		return Small(), nil
+	case "medium":
+		return Medium(), nil
+	default:
+		return Machine{}, fmt.Errorf("unknown machine preset %q (want small or medium)", name)
+	}
+}
+
+// MarshalJSON-friendly round trip helpers.
+
+// ToJSON renders the machine as indented JSON.
+func (m *Machine) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// FromJSON parses a machine and validates it.
+func FromJSON(data []byte) (Machine, error) {
+	var m Machine
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Machine{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Machine{}, err
+	}
+	return m, nil
+}

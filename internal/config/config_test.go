@@ -1,0 +1,105 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, name := range []string{"small", "medium"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("preset name %q", m.Name)
+		}
+	}
+	if _, err := ByName("huge"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetsOrdered(t *testing.T) {
+	s, m := Small(), Medium()
+	if s.Core.IssueWidth >= m.Core.IssueWidth {
+		t.Error("small core must be narrower than medium")
+	}
+	if s.Core.ROBSize >= m.Core.ROBSize {
+		t.Error("small ROB must be smaller")
+	}
+	if s.Hier.L1D.SizeBytes >= m.Hier.L1D.SizeBytes {
+		t.Error("small L1D must be smaller")
+	}
+}
+
+func TestFgSTPValidate(t *testing.T) {
+	good := Small().FgSTP
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default fabric invalid: %v", err)
+	}
+	mutations := []func(*FgSTP){
+		func(f *FgSTP) { f.Window = 4 },
+		func(f *FgSTP) { f.Window = 1 << 20 },
+		func(f *FgSTP) { f.CommLatency = -1 },
+		func(f *FgSTP) { f.CommBandwidth = 0 },
+		func(f *FgSTP) { f.CommQueue = 0 },
+		func(f *FgSTP) { f.DepPredBits = 33 },
+		func(f *FgSTP) { f.Steering = "magic" },
+		func(f *FgSTP) { f.FetchBandwidth = 0 },
+		func(f *FgSTP) { f.BalanceThreshold = -1 },
+	}
+	for i, mu := range mutations {
+		f := Small().FgSTP
+		mu(&f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMachineValidateFusion(t *testing.T) {
+	m := Medium()
+	m.Fusion.ExtraFrontend = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative fusion overhead accepted")
+	}
+	m = Medium()
+	m.Fusion.L1CrossbarLatency = -2
+	if err := m.Validate(); err == nil {
+		t.Error("negative crossbar latency accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := Medium()
+	data, err := m.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"Window\": 512") {
+		t.Errorf("JSON missing fabric fields:\n%s", data)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Core.ROBSize != m.Core.ROBSize || back.FgSTP.Window != m.FgSTP.Window {
+		t.Error("round trip lost fields")
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	if _, err := FromJSON([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	m := Medium()
+	m.Core.ROBSize = -5
+	data, _ := m.ToJSON()
+	if _, err := FromJSON(data); err == nil {
+		t.Error("invalid machine accepted from JSON")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+// channel models one direction of the inter-core register-value
+// fabric: an in-order pipe that accepts at most bandwidth values per
+// cycle and holds at most queue values in flight (granted but not yet
+// delivered, i.e. within the latency window). A transfer requested at
+// cycle t is granted the earliest slot >= t satisfying both limits and
+// delivered at slot + latency.
+//
+// Requests may arrive with non-monotonic timestamps (issue order is not
+// completion order); the grant table handles that generally.
+type channel struct {
+	latency   int64
+	bandwidth int
+	queue     int
+
+	grants map[int64]int
+	// low watermark for pruning the grant table.
+	minActive int64
+
+	// Transfers counts granted transfers; Delayed counts transfers
+	// whose grant slot was later than requested (contention).
+	Transfers uint64
+	Delayed   uint64
+	// DelaySum accumulates slot-minus-request cycles for contention
+	// reporting.
+	DelaySum uint64
+}
+
+func newChannel(latency, bandwidth, queue int) *channel {
+	return &channel{
+		latency:   int64(latency),
+		bandwidth: bandwidth,
+		queue:     queue,
+		grants:    make(map[int64]int),
+	}
+}
+
+// occupancy returns the number of values in flight at slot: granted in
+// the window (slot-latency, slot].
+func (c *channel) occupancy(slot int64) int {
+	occ := 0
+	for x := slot - c.latency + 1; x <= slot; x++ {
+		occ += c.grants[x]
+	}
+	return occ
+}
+
+// grant reserves a slot for a transfer requested at cycle t and returns
+// the delivery cycle.
+func (c *channel) grant(t int64) int64 {
+	slot := t
+	for {
+		if c.grants[slot] >= c.bandwidth {
+			slot++
+			continue
+		}
+		if c.latency > 0 && c.occupancy(slot)+1 > c.queue {
+			slot++
+			continue
+		}
+		break
+	}
+	c.grants[slot]++
+	c.Transfers++
+	if slot > t {
+		c.Delayed++
+		c.DelaySum += uint64(slot - t)
+	}
+	c.maybePrune(t)
+	return slot + c.latency
+}
+
+// maybePrune drops grant-table entries far older than the current
+// request time; requests never go backwards by more than a pipeline's
+// worth of cycles.
+func (c *channel) maybePrune(t int64) {
+	const slack = 4096
+	if t-c.minActive < 2*slack {
+		return
+	}
+	for k := range c.grants {
+		if k < t-slack {
+			delete(c.grants, k)
+		}
+	}
+	c.minActive = t - slack
+}

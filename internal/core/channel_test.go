@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelBasicLatency(t *testing.T) {
+	c := newChannel(2, 2, 16)
+	if got := c.grant(100); got != 102 {
+		t.Errorf("uncontended grant delivered at %d, want 102", got)
+	}
+	if c.Transfers != 1 || c.Delayed != 0 {
+		t.Errorf("stats transfers=%d delayed=%d", c.Transfers, c.Delayed)
+	}
+}
+
+func TestChannelBandwidthLimit(t *testing.T) {
+	c := newChannel(1, 2, 64)
+	// Three requests in the same cycle: third slips one cycle.
+	d1 := c.grant(10)
+	d2 := c.grant(10)
+	d3 := c.grant(10)
+	if d1 != 11 || d2 != 11 {
+		t.Errorf("first two deliveries %d,%d, want 11,11", d1, d2)
+	}
+	if d3 != 12 {
+		t.Errorf("third delivery %d, want 12 (bandwidth limit)", d3)
+	}
+	if c.Delayed != 1 {
+		t.Errorf("delayed = %d, want 1", c.Delayed)
+	}
+}
+
+func TestChannelQueueLimit(t *testing.T) {
+	// latency 4, bandwidth 4, queue 4: at most 4 in flight, so
+	// sustained throughput is 1/cycle despite bandwidth 4.
+	c := newChannel(4, 4, 4)
+	var last int64
+	for i := 0; i < 16; i++ {
+		last = c.grant(0)
+	}
+	// 16 transfers at 1/cycle effective: the 16th delivers around
+	// cycle 4+15.
+	if last < 15 {
+		t.Errorf("16th delivery at %d; queue limit not throttling", last)
+	}
+}
+
+func TestChannelOutOfOrderRequests(t *testing.T) {
+	c := newChannel(2, 1, 16)
+	d1 := c.grant(100)
+	d2 := c.grant(50) // earlier request arriving later
+	if d1 != 102 {
+		t.Errorf("d1 = %d", d1)
+	}
+	if d2 != 52 {
+		t.Errorf("d2 = %d, want 52 (independent slot)", d2)
+	}
+}
+
+// Property: delivery time is always >= request + latency, and never
+// more than bandwidth grants share a slot.
+func TestChannelQuick(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		c := newChannel(3, 2, 8)
+		slots := make(map[int64]int)
+		for _, q := range reqs {
+			tt := int64(q % 2048)
+			d := c.grant(tt)
+			if d < tt+3 {
+				return false
+			}
+			slots[d-3]++
+			if slots[d-3] > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelPruneKeepsCorrectness(t *testing.T) {
+	c := newChannel(2, 1, 4)
+	// Force many grants far apart so pruning triggers, then verify
+	// grants still respect the bandwidth rule locally.
+	for tt := int64(0); tt < 100_000; tt += 1000 {
+		c.grant(tt)
+	}
+	d1 := c.grant(200_000)
+	d2 := c.grant(200_000)
+	if d1 == d2 {
+		t.Errorf("two transfers delivered at the same slot %d with bandwidth 1", d1)
+	}
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/trace"
+)
+
+// farFuture is the "operand not available" sentinel for ExtReadyAt.
+const farFuture = int64(math.MaxInt64 / 4)
+
+// storeTracker tracks delivered-but-unissued stores of one core, the
+// set a remote load must consider for memory-dependence speculation.
+// Gseqs arrive in ascending (delivery) order.
+type storeTracker struct {
+	pend   []uint64
+	head   int
+	issued map[uint64]bool
+}
+
+func newStoreTracker() *storeTracker {
+	return &storeTracker{issued: make(map[uint64]bool)}
+}
+
+func (t *storeTracker) add(g uint64) { t.pend = append(t.pend, g) }
+
+func (t *storeTracker) markIssued(g uint64) { t.issued[g] = true }
+
+// advance moves head past the issued prefix and compacts occasionally.
+func (t *storeTracker) advance() {
+	for t.head < len(t.pend) && t.issued[t.pend[t.head]] {
+		delete(t.issued, t.pend[t.head])
+		t.head++
+	}
+	if t.head > 4096 {
+		t.pend = append(t.pend[:0], t.pend[t.head:]...)
+		t.head = 0
+	}
+}
+
+// anyUnissuedBelow reports whether any unissued store older than gseq
+// exists.
+func (t *storeTracker) anyUnissuedBelow(gseq uint64) bool {
+	t.advance()
+	return t.head < len(t.pend) && t.pend[t.head] < gseq
+}
+
+// unissuedBelow calls fn for every unissued store older than gseq.
+func (t *storeTracker) unissuedBelow(gseq uint64, fn func(uint64)) {
+	t.advance()
+	for i := t.head; i < len(t.pend) && t.pend[i] < gseq; i++ {
+		if !t.issued[t.pend[i]] {
+			fn(t.pend[i])
+		}
+	}
+}
+
+// rewind drops all tracked stores with gseq >= g (they will be
+// redelivered after the squash).
+func (t *storeTracker) rewind(g uint64) {
+	for i := len(t.pend) - 1; i >= t.head; i-- {
+		if t.pend[i] < g {
+			break
+		}
+		delete(t.issued, t.pend[i])
+		t.pend = t.pend[:i]
+	}
+}
+
+// Machine is a reconfigured 2-core Fg-STP system executing one thread.
+type Machine struct {
+	cfg config.Machine
+	tr  *trace.Trace
+
+	st    *steerer
+	seq   *sequencer
+	cores [2]*ooo.Core
+	hiers [2]*mem.Hierarchy
+	// chans[d] carries values into core d from its sibling.
+	chans [2]*channel
+
+	nextCommit uint64
+	// commitFrontier is this cycle's collective-commit bound: every
+	// instruction older than it has finished executing on both cores,
+	// so either core may retire its own instructions up to it without
+	// risking a squash of committed state.
+	commitFrontier uint64
+	// commitsDone counts commits per gseq (replicated instructions
+	// need two) until nextCommit passes them.
+	commitsDone map[uint64]uint8
+
+	depPred *ooo.DepPred
+	// storeSets, when non-nil, replaces the load-wait policy: a load
+	// bound to a store set waits only for that set's most recent
+	// unissued store.
+	storeSets *ooo.StoreSets
+	// ssLast maps a store set to the gseq of its most recently
+	// delivered store; unissuedStore tracks delivered-but-unissued
+	// stores by gseq.
+	ssLast        map[int32]uint64
+	unissuedStore map[uint64]bool
+
+	// completeAt records issued (non-replica) producers' completion
+	// cycles; deliver memoises per-destination channel grants.
+	completeAt map[uint64]int64
+	deliver    [2]map[uint64]int64
+	pruneMark  uint64
+
+	pendingStores [2]*storeTracker
+	issuedLoads   [2]map[uint64]*ooo.UOp
+	issuedStores  [2]map[uint64]*ooo.UOp
+
+	hasSquash     bool
+	pendingSquash uint64
+
+	// Stats.
+	CrossViolations uint64
+	GlobalSquashes  uint64
+	SpecLoads       uint64
+	GatedLoads      uint64
+	ForwardedRemote uint64
+}
+
+// NewMachine assembles an Fg-STP system over a captured trace.
+func NewMachine(cfg config.Machine, tr *trace.Trace) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:         cfg,
+		tr:          tr,
+		completeAt:  make(map[uint64]int64),
+		commitsDone: make(map[uint64]uint8),
+	}
+	m.deliver[0] = make(map[uint64]int64)
+	m.deliver[1] = make(map[uint64]int64)
+	m.pendingStores[0] = newStoreTracker()
+	m.pendingStores[1] = newStoreTracker()
+	m.issuedLoads[0] = make(map[uint64]*ooo.UOp)
+	m.issuedLoads[1] = make(map[uint64]*ooo.UOp)
+	m.issuedStores[0] = make(map[uint64]*ooo.UOp)
+	m.issuedStores[1] = make(map[uint64]*ooo.UOp)
+
+	f := cfg.FgSTP
+	depBits := f.DepPredBits
+	if !f.DepSpeculation {
+		depBits = 0
+	}
+	m.depPred = ooo.NewDepPred(depBits)
+	if f.UseStoreSets && f.DepSpeculation {
+		bits := f.DepPredBits
+		if bits < 4 {
+			bits = 11
+		}
+		m.storeSets = ooo.NewStoreSets(bits)
+		m.ssLast = make(map[int32]uint64)
+		m.unissuedStore = make(map[uint64]bool)
+	}
+	m.chans[0] = newChannel(f.CommLatency, f.CommBandwidth, f.CommQueue)
+	m.chans[1] = newChannel(f.CommLatency, f.CommBandwidth, f.CommQueue)
+
+	m.hiers[0], m.hiers[1] = mem.NewSharedL2Pair(cfg.Hier)
+	m.st = newSteerer(f, cfg.Core.ROBSize, tr)
+	m.seq = newSequencer(f, cfg.Core.Predictor, tr, m.st, m.hiers[0], m.hiers[1])
+	m.seq.onDeliver = func(d *isa.DynInst, gseq uint64, home int) {
+		if d.IsStore() {
+			m.pendingStores[home].add(gseq)
+			if m.storeSets != nil {
+				m.unissuedStore[gseq] = true
+				if set := m.storeSets.SetOf(d.PC); set >= 0 {
+					m.ssLast[set] = gseq
+				}
+			}
+		}
+	}
+
+	ccfg := cfg.Core
+	ccfg.ExternalFrontend = true
+	ccfg.DepPredBits = depBits
+	for i := 0; i < 2; i++ {
+		m.cores[i] = ooo.NewCore(ccfg, m.hiers[i], m.seq.streams[i], &coreHooks{m: m, id: i})
+	}
+	return m
+}
+
+// expected returns how many commits gseq requires (2 when replicated).
+func (m *Machine) expected(gseq uint64) int {
+	if m.st.info(gseq).replica {
+		return 2
+	}
+	return 1
+}
+
+// Done reports whether the whole trace has committed.
+func (m *Machine) Done() bool { return m.nextCommit >= uint64(m.tr.Len()) }
+
+// Cycle advances the machine one clock: sequencer fill, both cores,
+// then any pending global squash. The commit frontier is computed
+// before the cores run, from last cycle's completion state — the
+// distributed ROBs exchange completion pointers with one cycle of
+// skew, as the dedicated commit fabric would.
+func (m *Machine) Cycle(now int64) {
+	m.commitFrontier = m.frontier(now - 1)
+	m.seq.fill(now, m.nextCommit)
+	m.cores[0].Cycle(now)
+	m.cores[1].Cycle(now)
+	if m.hasSquash {
+		m.applySquash(now)
+	}
+	if m.nextCommit >= m.pruneMark+8192 {
+		m.prune()
+	}
+}
+
+// requestSquash schedules a global squash from gseq at the end of the
+// current cycle; concurrent requests keep the oldest.
+func (m *Machine) requestSquash(gseq uint64) {
+	if !m.hasSquash || gseq < m.pendingSquash {
+		m.pendingSquash = gseq
+		m.hasSquash = true
+	}
+}
+
+func (m *Machine) applySquash(now int64) {
+	g := m.pendingSquash
+	m.hasSquash = false
+	m.GlobalSquashes++
+
+	m.cores[0].SquashFrom(g, now)
+	m.cores[1].SquashFrom(g, now)
+	m.seq.rewind(g, now)
+	for i := 0; i < 2; i++ {
+		m.pendingStores[i].rewind(g)
+		for k := range m.issuedLoads[i] {
+			if k >= g {
+				delete(m.issuedLoads[i], k)
+			}
+		}
+		for k := range m.issuedStores[i] {
+			if k >= g {
+				delete(m.issuedStores[i], k)
+			}
+		}
+		for k := range m.deliver[i] {
+			if k >= g {
+				delete(m.deliver[i], k)
+			}
+		}
+	}
+	for k := range m.completeAt {
+		if k >= g {
+			delete(m.completeAt, k)
+		}
+	}
+	if m.storeSets != nil {
+		for set, gs := range m.ssLast {
+			if gs >= g {
+				delete(m.ssLast, set)
+			}
+		}
+		for gs := range m.unissuedStore {
+			if gs >= g {
+				delete(m.unissuedStore, gs)
+			}
+		}
+	}
+}
+
+// prune drops communication bookkeeping for producers so old that no
+// in-flight consumer can still reference them (consumers of producer p
+// are steered within the lookahead window of p's commit).
+func (m *Machine) prune() {
+	m.pruneMark = m.nextCommit
+	if m.nextCommit < uint64(m.cfg.FgSTP.Window)+uint64(4*m.cfg.Core.ROBSize) {
+		return
+	}
+	cut := m.nextCommit - uint64(m.cfg.FgSTP.Window) - uint64(4*m.cfg.Core.ROBSize)
+	for k := range m.completeAt {
+		if k < cut {
+			delete(m.completeAt, k)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for k := range m.deliver[i] {
+			if k < cut {
+				delete(m.deliver[i], k)
+			}
+		}
+	}
+}
+
+// coreHooks couples one core to the machine.
+type coreHooks struct {
+	m  *Machine
+	id int
+}
+
+// ExtReadyAt implements ooo.Hooks: the operand arrives through the
+// inter-core channel once its producer completes; the grant is computed
+// lazily and memoised.
+func (h *coreHooks) ExtReadyAt(u *ooo.UOp, srcIdx int, now int64) int64 {
+	m := h.m
+	p := u.Item.Deps[srcIdx].Producer
+	if t, ok := m.deliver[h.id][p]; ok {
+		return t
+	}
+	ct, ok := m.completeAt[p]
+	if !ok {
+		if p < m.nextCommit {
+			// Producer committed before this consumer dispatched (its
+			// timing record may be pruned): the value travelled with
+			// the committed state merge; charge one transfer from now.
+			t := m.chans[h.id].grant(now)
+			m.deliver[h.id][p] = t
+			return t
+		}
+		return farFuture
+	}
+	t := m.chans[h.id].grant(ct)
+	m.deliver[h.id][p] = t
+	return t
+}
+
+// LoadGate implements ooo.Hooks: cross-core memory-dependence
+// speculation.
+func (h *coreHooks) LoadGate(u *ooo.UOp, now int64) (ok, speculative bool) {
+	m := h.m
+	other := 1 - h.id
+	ps := m.pendingStores[other]
+	if !ps.anyUnissuedBelow(u.GSeq()) {
+		return true, false
+	}
+	if m.storeSets != nil {
+		// Store-set policy: wait only for the specific predicted
+		// producer store (if it is older and still unissued).
+		if set := m.storeSets.SetOf(u.DI().PC); set >= 0 {
+			if g, okSet := m.ssLast[set]; okSet && g < u.GSeq() && m.unissuedStore[g] {
+				m.GatedLoads++
+				return false, false
+			}
+		}
+		m.SpecLoads++
+		return true, true
+	}
+	if m.depPred.Perfect() {
+		conflict := false
+		ps.unissuedBelow(u.GSeq(), func(g uint64) {
+			if m.tr.At(int(g)).Addr == u.DI().Addr {
+				conflict = true
+			}
+		})
+		if conflict {
+			m.GatedLoads++
+			return false, false
+		}
+		return true, false
+	}
+	if m.depPred.MustWait(u.DI().PC) {
+		m.GatedLoads++
+		return false, false
+	}
+	m.SpecLoads++
+	return true, true
+}
+
+// LoadExtraLatency implements ooo.Hooks: a load whose value comes from
+// an uncommitted remote store pays the channel latency for the
+// forwarded data.
+func (h *coreHooks) LoadExtraLatency(u *ooo.UOp) int {
+	m := h.m
+	other := 1 - h.id
+	for g, s := range m.issuedStores[other] {
+		if g < u.GSeq() && s.DI().Addr == u.DI().Addr {
+			m.ForwardedRemote++
+			return m.cfg.FgSTP.CommLatency
+		}
+	}
+	return 0
+}
+
+// OnIssue implements ooo.Hooks: record completions for the channel,
+// track memory operations, detect cross-core ordering violations when
+// store addresses resolve.
+func (h *coreHooks) OnIssue(u *ooo.UOp, now int64) {
+	m := h.m
+	if !u.Item.Replica {
+		m.completeAt[u.GSeq()] = u.CompleteAt()
+	}
+	d := u.DI()
+	switch {
+	case d.IsLoad():
+		m.issuedLoads[h.id][u.GSeq()] = u
+	case d.IsStore():
+		m.issuedStores[h.id][u.GSeq()] = u
+		m.pendingStores[h.id].markIssued(u.GSeq())
+		if m.unissuedStore != nil {
+			delete(m.unissuedStore, u.GSeq())
+		}
+		m.checkRemoteViolation(u, 1-h.id)
+	}
+	if m.seq.blocked && m.seq.blockedOn == u.GSeq() && !u.Item.Replica {
+		m.seq.resolveBranch(u.GSeq(), u.CompleteAt())
+	}
+}
+
+// checkRemoteViolation looks for issued loads on the other core that
+// are younger than the just-resolved store and read the same address
+// with stale data.
+func (m *Machine) checkRemoteViolation(s *ooo.UOp, otherCore int) {
+	var victim *ooo.UOp
+	for _, l := range m.issuedLoads[otherCore] {
+		if l.GSeq() <= s.GSeq() || l.DI().Addr != s.DI().Addr {
+			continue
+		}
+		if f := l.ForwardedFrom(); f != nil && f.GSeq() > s.GSeq() {
+			continue // forwarded from a younger store: value is current
+		}
+		if victim == nil || l.GSeq() < victim.GSeq() {
+			victim = l
+		}
+	}
+	if victim == nil {
+		return
+	}
+	m.CrossViolations++
+	m.depPred.Violation(victim.DI().PC)
+	if m.storeSets != nil {
+		m.storeSets.Union(victim.DI().PC, s.DI().PC)
+	}
+	m.requestSquash(victim.GSeq())
+}
+
+// OnComplete implements ooo.Hooks (the machine keys everything off
+// OnIssue, which already knows the completion time).
+func (h *coreHooks) OnComplete(u *ooo.UOp, now int64) {}
+
+// CanCommit implements ooo.Hooks: collective in-order commit — a core
+// may retire an instruction once everything older (on both cores) has
+// finished executing, so retirement proceeds in parallel on both cores
+// while committed state stays squash-safe.
+func (h *coreHooks) CanCommit(u *ooo.UOp, now int64) bool {
+	return u.GSeq() < h.m.commitFrontier
+}
+
+// OnCommit implements ooo.Hooks.
+func (h *coreHooks) OnCommit(u *ooo.UOp, now int64) {
+	m := h.m
+	d := u.DI()
+	if d.IsLoad() {
+		delete(m.issuedLoads[h.id], u.GSeq())
+	}
+	if d.IsStore() {
+		delete(m.issuedStores[h.id], u.GSeq())
+	}
+	m.commitsDone[u.GSeq()]++
+	for m.nextCommit < uint64(m.tr.Len()) &&
+		int(m.commitsDone[m.nextCommit]) == m.expected(m.nextCommit) {
+		delete(m.commitsDone, m.nextCommit)
+		m.nextCommit++
+	}
+}
+
+// frontier computes the oldest globally-unfinished gseq as of cycle
+// now: instructions below it are safe to retire.
+func (m *Machine) frontier(now int64) uint64 {
+	f := m.seq.pos // undelivered instructions are unfinished
+	if g, ok := m.cores[0].OldestUnfinished(now); ok && g < f {
+		f = g
+	}
+	if g, ok := m.cores[1].OldestUnfinished(now); ok && g < f {
+		f = g
+	}
+	return f
+}
+
+// OnViolation implements ooo.Hooks: local LSQ violations escalate to a
+// global squash (commit order is global).
+func (h *coreHooks) OnViolation(gseq uint64, now int64) bool {
+	h.m.requestSquash(gseq)
+	return true
+}

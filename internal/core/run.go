@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/ooo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// maxCyclesPerInst bounds runs against livelock bugs.
+const maxCyclesPerInst = 2000
+
+// Run simulates tr to completion on an Fg-STP machine built from cfg
+// and returns the run summary — the Fg-STP data point of every
+// experiment.
+func Run(cfg config.Machine, tr *trace.Trace) stats.Run {
+	m := NewMachine(cfg, tr)
+	cycles := m.Drain()
+	return m.Summarize(cycles)
+}
+
+// Drain cycles the machine until the whole trace has committed and
+// returns the cycle count. It panics on livelock.
+func (m *Machine) Drain() int64 {
+	limit := int64(m.tr.Len()+1000) * maxCyclesPerInst
+	var now int64
+	for ; !m.Done(); now++ {
+		if now > limit {
+			panic(fmt.Sprintf("fgstp: livelock after %d cycles (committed %d of %d)",
+				now, m.nextCommit, m.tr.Len()))
+		}
+		m.Cycle(now)
+	}
+	return now
+}
+
+// Summarize collects the machine-level statistics into a stats.Run.
+func (m *Machine) Summarize(cycles int64) stats.Run {
+	r := stats.Run{
+		Workload: m.tr.Name,
+		Mode:     "fgstp",
+		Cycles:   uint64(cycles),
+		Insts:    uint64(m.tr.Len()),
+	}
+	r.Set("branch_mispredicts", float64(m.seq.Mispredicts))
+	r.Set("indirect_mispredicts", float64(m.seq.IndirectMiss))
+	r.Set("bpred_accuracy", m.seq.pred.Accuracy())
+	r.Set("squashes", float64(m.GlobalSquashes))
+	r.Set("cross_violations", float64(m.CrossViolations))
+	r.Set("loads_speculative", float64(m.SpecLoads))
+	r.Set("loads_gated", float64(m.GatedLoads))
+	r.Set("remote_forwards", float64(m.ForwardedRemote))
+
+	rpt0, rpt1 := m.cores[0].Report(), m.cores[1].Report()
+	r.Set("mem_violations", float64(rpt0.MemViolations+rpt1.MemViolations+m.CrossViolations))
+	r.Set("replicas_committed", float64(rpt0.Replicas+rpt1.Replicas))
+	r.Set("core0_committed", float64(rpt0.Committed))
+	r.Set("core1_committed", float64(rpt1.Committed))
+
+	st := m.st
+	total := float64(st.Steered[0] + st.Steered[1])
+	if total > 0 {
+		r.Set("steer_core1_frac", float64(st.Steered[1])/total)
+		r.Set("replicated_frac", float64(st.Replicated)/total)
+	}
+	deps := float64(st.RemoteDeps + st.LocalDeps)
+	if deps > 0 {
+		r.Set("remote_dep_frac", float64(st.RemoteDeps)/deps)
+	}
+	if m.tr.Len() > 0 {
+		r.Set("comm_per_kinst",
+			float64(m.chans[0].Transfers+m.chans[1].Transfers)/float64(m.tr.Len())*1000)
+	}
+	var delayed, transfers, delaySum uint64
+	for _, c := range m.chans {
+		delayed += c.Delayed
+		transfers += c.Transfers
+		delaySum += c.DelaySum
+	}
+	if transfers > 0 {
+		r.Set("comm_delayed_frac", float64(delayed)/float64(transfers))
+		r.Set("comm_delay_avg", float64(delaySum)/float64(transfers))
+	}
+	r.Set("window_stall_cycles", float64(m.seq.WindowStalls))
+	r.Set("l1d_miss_rate",
+		(m.hiers[0].L1D.Stats.MissRate()+m.hiers[1].L1D.Stats.MissRate())/2)
+	r.Set("fetched_uops", float64(rpt0.Fetched+rpt1.Fetched))
+	r.Set("issued_uops", float64(rpt0.Issued+rpt1.Issued))
+	r.Set("squashed_uops", float64(rpt0.Squashed+rpt1.Squashed))
+	r.Set("l1i_accesses",
+		float64(m.hiers[0].L1I.Stats.Accesses+m.hiers[1].L1I.Stats.Accesses))
+	r.Set("l1d_accesses",
+		float64(m.hiers[0].L1D.Stats.Accesses+m.hiers[1].L1D.Stats.Accesses))
+	// The L2 is shared: both hierarchies alias the same cache.
+	r.Set("l2_accesses", float64(m.hiers[0].L2.Stats.Accesses))
+	r.Set("dram_accesses", float64(m.hiers[0].DRAMAccesses+m.hiers[1].DRAMAccesses))
+	r.Set("comm_transfers", float64(m.chans[0].Transfers+m.chans[1].Transfers))
+	r.Set("active_cores", 2)
+	return r
+}
+
+// Steerer exposes the steering unit (read-only) for characterisation
+// experiments and tests.
+func (m *Machine) Steerer() *steerer { return m.st }
+
+// Sequencer stats accessors used by tests and the characterisation
+// experiment.
+func (m *Machine) SequencerMispredicts() uint64 { return m.seq.Mispredicts }
+
+// ChannelTransfers returns total cross-core value transfers.
+func (m *Machine) ChannelTransfers() uint64 {
+	return m.chans[0].Transfers + m.chans[1].Transfers
+}
+
+// CommittedOf returns per-core committed instruction counts (original,
+// replica).
+func (m *Machine) CommittedOf(core int) (uint64, uint64) {
+	rpt := m.cores[core].Report()
+	return rpt.Committed, rpt.Replicas
+}
+
+// SteerDecision exposes the steering decision for one instruction —
+// its home core and whether it is replicated — for inspection tools
+// like examples/tracetool.
+func SteerDecision(m *Machine, gseq uint64) (home int, replica bool) {
+	inf := m.st.info(gseq)
+	return int(inf.home), inf.replica
+}
+
+// CoreReports returns snapshots of both cores' statistics; sampling it
+// between Cycle calls yields per-cycle activity (see examples/pipeview).
+func (m *Machine) CoreReports() [2]ooo.Report {
+	return [2]ooo.Report{m.cores[0].Report(), m.cores[1].Report()}
+}
+
+// NextCommit returns the global commit pointer (the oldest instruction
+// not yet fully committed).
+func (m *Machine) NextCommit() uint64 { return m.nextCommit }
+
+// Squashes returns the number of global squashes so far.
+func (m *Machine) Squashes() uint64 { return m.GlobalSquashes }

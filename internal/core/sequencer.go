@@ -1,0 +1,235 @@
+package core
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/trace"
+)
+
+// coreStream is the per-core fetch queue the sequencer fills and the
+// core's front end drains. It implements ooo.Stream.
+type coreStream struct {
+	q   []ooo.FetchItem
+	seq *sequencer
+}
+
+// Peek implements ooo.Stream.
+func (s *coreStream) Peek(now int64) (ooo.FetchItem, bool) {
+	if len(s.q) == 0 {
+		return ooo.FetchItem{}, false
+	}
+	return s.q[0], true
+}
+
+// Advance implements ooo.Stream.
+func (s *coreStream) Advance() { s.q = s.q[1:] }
+
+// Rewind implements ooo.Stream. The core calls it during a squash; the
+// global rewind (sequencer position, sibling core) is coordinated by
+// the machine, which squashes both cores and then rewinds the
+// sequencer, so here we only drop our own too-young items.
+func (s *coreStream) Rewind(gseq uint64) {
+	for i, it := range s.q {
+		if it.GSeq >= gseq {
+			s.q = s.q[:i]
+			return
+		}
+	}
+}
+
+// Exhausted implements ooo.Stream.
+func (s *coreStream) Exhausted() bool {
+	return len(s.q) == 0 && s.seq.pos >= uint64(s.seq.tr.Len())
+}
+
+// sequencer is the Fg-STP global front end: it walks the trace at up to
+// FetchBandwidth instructions per cycle, runs the shared branch
+// predictor, charges I-cache fetches cooperatively across both cores'
+// L1Is, respects the lookahead window relative to global commit, and
+// delivers steered instructions (and replicas) into the per-core
+// queues.
+type sequencer struct {
+	cfg   config.FgSTP
+	tr    *trace.Trace
+	st    *steerer
+	pred  *bpred.Predictor
+	hiers [2]*mem.Hierarchy
+
+	streams [2]*coreStream
+	pos     uint64 // next trace index to deliver
+
+	stallUntil    int64
+	blockedOn     uint64 // gseq of unresolved mispredicted branch
+	blocked       bool
+	lastFetchLine [2]uint64
+
+	// queueCap bounds each per-core queue (the partitioned fetch
+	// buffer).
+	queueCap int
+
+	// onDeliver, when set, is called for each delivered instruction
+	// (not for replicas) with its home core — the machine uses it to
+	// track in-flight stores for cross-core disambiguation.
+	onDeliver func(d *isa.DynInst, gseq uint64, home int)
+
+	// Stats.
+	Mispredicts       uint64
+	IndirectMiss      uint64
+	ICacheStalls      int64
+	WindowStalls      int64
+	BranchStalls      int64
+	Delivered         uint64
+	ReplicaDeliveries uint64
+}
+
+func newSequencer(cfg config.FgSTP, pcfg bpred.Config, tr *trace.Trace, st *steerer, h0, h1 *mem.Hierarchy) *sequencer {
+	s := &sequencer{
+		cfg:      cfg,
+		tr:       tr,
+		st:       st,
+		pred:     bpred.New(pcfg),
+		hiers:    [2]*mem.Hierarchy{h0, h1},
+		queueCap: 16 * cfg.FetchBandwidth,
+	}
+	s.streams[0] = &coreStream{seq: s}
+	s.streams[1] = &coreStream{seq: s}
+	s.lastFetchLine[0] = ^uint64(0)
+	s.lastFetchLine[1] = ^uint64(0)
+	return s
+}
+
+// resolveBranch unblocks the sequencer once the mispredicted branch at
+// gseq resolves at cycle when (called by the coordinator from the
+// OnComplete hook). The redirect crosses the dedicated fabric, so it
+// pays the inter-core communication latency on top of resolution.
+func (s *sequencer) resolveBranch(gseq uint64, when int64) {
+	if s.blocked && s.blockedOn == gseq {
+		s.blocked = false
+		if t := when + int64(s.cfg.CommLatency); t > s.stallUntil {
+			s.stallUntil = t
+		}
+	}
+}
+
+// rewind repositions the sequencer after a global squash to gseq.
+func (s *sequencer) rewind(gseq uint64, now int64) {
+	s.pos = gseq
+	if s.blocked && s.blockedOn >= gseq {
+		s.blocked = false
+	}
+	if s.stallUntil < now+1 {
+		s.stallUntil = now + 1
+	}
+	// Refetch re-touches the I-cache lines.
+	s.lastFetchLine[0] = ^uint64(0)
+	s.lastFetchLine[1] = ^uint64(0)
+}
+
+// fill delivers up to the fetch bandwidth of steered instructions into
+// the per-core queues for cycle now. nextCommit bounds the lookahead
+// window.
+func (s *sequencer) fill(now int64, nextCommit uint64) {
+	if s.blocked {
+		s.BranchStalls++
+		return
+	}
+	if now < s.stallUntil {
+		s.ICacheStalls++
+		return
+	}
+	for budget := s.cfg.FetchBandwidth; budget > 0; budget-- {
+		if s.pos >= uint64(s.tr.Len()) {
+			return
+		}
+		if s.pos >= nextCommit+uint64(s.cfg.Window) {
+			s.WindowStalls++
+			return
+		}
+		d := s.tr.At(int(s.pos))
+		inf := s.st.info(s.pos)
+
+		// Queue space: the home core (and the sibling, for replicas)
+		// must have room.
+		if len(s.streams[inf.home].q) >= s.queueCap {
+			return
+		}
+		if inf.replica && len(s.streams[1-inf.home].q) >= s.queueCap {
+			return
+		}
+
+		// Cooperative I-cache: lines alternate between the two cores'
+		// L1Is; a miss stalls the shared front end.
+		core := int(inf.home)
+		line := s.hiers[core].L1I.LineAddr(d.PC)
+		if line != s.lastFetchLine[core] {
+			lat := s.hiers[core].Fetch(d.PC)
+			s.lastFetchLine[core] = line
+			if hit := s.hiers[core].L1I.Config().LatencyCycles; lat > hit {
+				s.stallUntil = now + int64(lat-hit)
+				return
+			}
+		}
+
+		// Shared branch prediction. Mispredicts block delivery until
+		// the branch resolves on its core.
+		stop := false
+		if d.IsCtrl() {
+			stop = s.observeControl(d)
+		}
+
+		item := ooo.FetchItem{DI: d, GSeq: s.pos, Deps: &inf.deps}
+		s.streams[inf.home].q = append(s.streams[inf.home].q, item)
+		s.Delivered++
+		if s.onDeliver != nil {
+			s.onDeliver(d, s.pos, int(inf.home))
+		}
+		if inf.replica {
+			rep := item
+			rep.Replica = true
+			s.streams[1-inf.home].q = append(s.streams[1-inf.home].q, rep)
+			s.ReplicaDeliveries++
+		}
+		s.pos++
+		if stop {
+			return
+		}
+	}
+}
+
+// observeControl runs the shared predictor on a control instruction and
+// reports whether delivery must stop this cycle (mispredict block or
+// taken-flow fetch break).
+func (s *sequencer) observeControl(d *isa.DynInst) bool {
+	switch d.Class {
+	case isa.ClassBranch:
+		if !s.pred.ObserveBranch(d.PC, d.Taken) {
+			s.Mispredicts++
+			s.blocked = true
+			s.blockedOn = d.Seq
+			return true
+		}
+		return d.Taken
+	case isa.ClassJump:
+		correct := true
+		switch {
+		case d.IsRet:
+			correct = s.pred.ObserveReturn(d.Target)
+		case d.Indirect:
+			correct = s.pred.ObserveIndirect(d.PC, d.Target)
+		}
+		if d.IsCall {
+			s.pred.ObserveCall(d.PC + isa.InstBytes)
+		}
+		if !correct {
+			s.IndirectMiss++
+			s.blocked = true
+			s.blockedOn = d.Seq
+			return true
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/ooo"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func steerCfg() config.FgSTP {
+	f := config.Medium().FgSTP
+	return f
+}
+
+func steerAll(t *testing.T, cfg config.FgSTP, tr *trace.Trace) *steerer {
+	t.Helper()
+	s := newSteerer(cfg, 128, tr)
+	s.info(uint64(tr.Len() - 1))
+	return s
+}
+
+// Steering totality: every instruction gets exactly one home core and
+// decisions are cached stably.
+func TestSteeringTotality(t *testing.T) {
+	w, _ := workloads.ByName("perlbench")
+	tr := w.Trace(10_000)
+	s := steerAll(t, steerCfg(), tr)
+	if s.decided() != tr.Len() {
+		t.Fatalf("decided %d of %d", s.decided(), tr.Len())
+	}
+	if s.Steered[0]+s.Steered[1] != uint64(tr.Len()) {
+		t.Errorf("steered %d+%d != %d", s.Steered[0], s.Steered[1], tr.Len())
+	}
+	// Re-querying returns identical decisions (cache stability).
+	first := *s.info(42)
+	again := *s.info(42)
+	if first != again {
+		t.Error("steering decision not stable")
+	}
+}
+
+// Load balance: the affinity policy keeps the split within reasonable
+// bounds on every workload.
+func TestSteeringBalance(t *testing.T) {
+	for _, w := range workloads.All() {
+		tr := w.Trace(20_000)
+		s := steerAll(t, steerCfg(), tr)
+		frac := float64(s.Steered[1]) / float64(tr.Len())
+		if frac < 0.25 || frac > 0.75 {
+			t.Errorf("%s: core-1 fraction %.2f outside [0.25, 0.75]", w.Name, frac)
+		}
+	}
+}
+
+// Dependence correctness: every steering decision's SrcDep must name
+// the true most-recent producer of that register, and Remote must be
+// set exactly when the producer's value is neither replicated nor on
+// the consumer's core.
+func TestSteeringDepsMatchDataflow(t *testing.T) {
+	w, _ := workloads.ByName("gcc")
+	tr := w.Trace(8_000)
+	s := steerAll(t, steerCfg(), tr)
+
+	type writer struct {
+		gseq uint64
+		home uint8
+		both bool
+		ok   bool
+	}
+	last := make(map[isa.Reg]writer)
+	var buf [3]isa.Reg
+	for i := 0; i < tr.Len(); i++ {
+		d := tr.At(i)
+		inf := s.info(uint64(i))
+		for k, r := range d.Sources(buf[:0]) {
+			dep := inf.deps[k]
+			w, ok := last[r]
+			if !ok {
+				if dep.Producer != ooo.NoProducer {
+					t.Fatalf("inst %d src %s: producer %d, want architectural", i, r, dep.Producer)
+				}
+				continue
+			}
+			if dep.Producer != w.gseq {
+				t.Fatalf("inst %d src %s: producer %d, want %d", i, r, dep.Producer, w.gseq)
+			}
+			wantRemote := !w.both && w.home != inf.home
+			if dep.Remote != wantRemote {
+				t.Fatalf("inst %d src %s: remote=%v, want %v", i, r, dep.Remote, wantRemote)
+			}
+		}
+		if d.HasDst() {
+			last[d.Dst] = writer{gseq: uint64(i), home: inf.home, both: inf.replica, ok: true}
+		}
+	}
+}
+
+// Replication policy: replicas are only cheap pipelined register ops,
+// never memory or control.
+func TestReplicationOnlyCheapOps(t *testing.T) {
+	for _, name := range []string{"milc", "sjeng", "omnetpp"} {
+		w, _ := workloads.ByName(name)
+		tr := w.Trace(10_000)
+		s := steerAll(t, steerCfg(), tr)
+		for i := 0; i < tr.Len(); i++ {
+			if !s.info(uint64(i)).replica {
+				continue
+			}
+			switch tr.At(i).Class {
+			case isa.ClassIntAlu, isa.ClassIntMul, isa.ClassFPAlu, isa.ClassFPMul:
+			default:
+				t.Fatalf("%s inst %d (%s) replicated", name, i, tr.At(i).Class)
+			}
+		}
+	}
+}
+
+// Replication stays bounded: the demand-driven policy must not
+// replicate a large fraction of the stream.
+func TestReplicationBounded(t *testing.T) {
+	for _, w := range workloads.All() {
+		tr := w.Trace(15_000)
+		s := steerAll(t, steerCfg(), tr)
+		frac := float64(s.Replicated) / float64(tr.Len())
+		if frac > 0.20 {
+			t.Errorf("%s: replication fraction %.2f > 0.20", w.Name, frac)
+		}
+	}
+}
+
+// Disabling replication: no replicas, and previously-replicated values
+// become communication instead.
+func TestReplicationDisabled(t *testing.T) {
+	w, _ := workloads.ByName("namd")
+	tr := w.Trace(10_000)
+	on := steerAll(t, steerCfg(), tr)
+	cfg := steerCfg()
+	cfg.Replication = false
+	off := steerAll(t, cfg, tr)
+	if off.Replicated != 0 {
+		t.Errorf("replication disabled but %d replicas", off.Replicated)
+	}
+	if on.Replicated == 0 {
+		t.Error("namd must replicate its LCG backbone")
+	}
+	// Without replication the serial backbone pins work to one core:
+	// either communication rises or the partition degrades.
+	onBal := balanceOf(on)
+	offBal := balanceOf(off)
+	if off.RemoteDeps <= on.RemoteDeps && offBal >= onBal-0.02 {
+		t.Errorf("disabling replication changed nothing: remote %d->%d, balance %.2f->%.2f",
+			on.RemoteDeps, off.RemoteDeps, onBal, offBal)
+	}
+}
+
+// balanceOf returns min(core share)/0.5 in [0,1]: 1 is a perfect split.
+func balanceOf(s *steerer) float64 {
+	total := float64(s.Steered[0] + s.Steered[1])
+	minSide := float64(s.Steered[0])
+	if s.Steered[1] < s.Steered[0] {
+		minSide = float64(s.Steered[1])
+	}
+	return minSide / total * 2
+}
+
+// Strawman policies: round-robin alternates, chunk64 splits in blocks.
+func TestStrawmanSteering(t *testing.T) {
+	w, _ := workloads.ByName("hmmer")
+	tr := w.Trace(1_000)
+
+	cfg := steerCfg()
+	cfg.Steering = "roundrobin"
+	s := steerAll(t, cfg, tr)
+	for i := 0; i < 100; i++ {
+		if s.info(uint64(i)).home != uint8(i&1) {
+			t.Fatalf("roundrobin inst %d on core %d", i, s.info(uint64(i)).home)
+		}
+	}
+
+	cfg.Steering = "chunk64"
+	s = steerAll(t, cfg, tr)
+	for i := 0; i < 256; i++ {
+		if s.info(uint64(i)).home != uint8((i/64)&1) {
+			t.Fatalf("chunk64 inst %d on core %d", i, s.info(uint64(i)).home)
+		}
+	}
+}
+
+// Affinity keeps serial chains on one core: a pure dependent chain must
+// not be split at all.
+func TestAffinityKeepsChainLocal(t *testing.T) {
+	b := program.NewBuilder("chain")
+	b.Li(isa.R1, 1)
+	b.Label("main")
+	for i := 0; i < 500; i++ {
+		b.Mul(isa.R1, isa.R1, isa.R1) // self-recurrent but 1 consumer
+	}
+	b.Halt()
+	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
+	cfg := steerCfg()
+	cfg.Replication = false // isolate affinity behaviour
+	s := steerAll(t, cfg, tr)
+	// The occupancy guard forces a switch roughly once per ROB worth of
+	// instructions; beyond those, the chain must stay local.
+	if s.RemoteDeps > uint64(tr.Len()/32) {
+		t.Errorf("serial chain split across cores: %d remote deps over %d insts",
+			s.RemoteDeps, tr.Len())
+	}
+}
+
+// Memory affinity: a load reading what a recent store wrote is steered
+// to the store's core.
+func TestMemoryAffinity(t *testing.T) {
+	b := program.NewBuilder("memaff")
+	b.Li(isa.R1, 0x100000)
+	b.Li(isa.R2, 400)
+	b.Label("main")
+	b.Label("loop")
+	// Alternating independent work to give the balancer freedom, plus
+	// a store/load pair that must stay together.
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.St(isa.R3, isa.R1, 0)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Ld(isa.R6, isa.R1, 0)
+	b.Add(isa.R7, isa.R6, isa.R7)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "loop")
+	b.Halt()
+	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
+	s := steerAll(t, steerCfg(), tr)
+	split := 0
+	var lastStore uint8
+	for i := 0; i < tr.Len(); i++ {
+		d := tr.At(i)
+		if d.IsStore() {
+			lastStore = s.info(uint64(i)).home
+		}
+		if d.IsLoad() && s.info(uint64(i)).home != lastStore {
+			split++
+		}
+	}
+	loads := 0
+	for i := 0; i < tr.Len(); i++ {
+		if tr.At(i).IsLoad() {
+			loads++
+		}
+	}
+	if split > loads/10 {
+		t.Errorf("%d of %d loads steered away from their producer store", split, loads)
+	}
+}
+
+// Hysteresis balance property: cumulative imbalance stays bounded by a
+// window proportional to the threshold on tie-heavy streams.
+func TestBalanceHysteresisBounded(t *testing.T) {
+	f := func(n uint16) bool {
+		b := program.NewBuilder("ties")
+		b.Label("main")
+		count := int(n%500) + 100
+		for i := 0; i < count; i++ {
+			b.Li(isa.Reg(1+i%8), int64(i)) // no sources: all ties
+		}
+		b.Halt()
+		tr := trace.Capture(b.MustBuild(), 0)
+		cfg := steerCfg()
+		cfg.Replication = false
+		s := newSteerer(cfg, 128, tr)
+		s.info(uint64(tr.Len() - 1))
+		diff := int64(s.Steered[0]) - int64(s.Steered[1])
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= int64(cfg.BalanceThreshold)+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func TestWeightsValidate(t *testing.T) {
+	w := Default()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("default weights invalid: %v", err)
+	}
+	w.DRAMAccess = -1
+	if err := w.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestEstimateArithmetic(t *testing.T) {
+	r := stats.Run{Workload: "x", Mode: "single", Cycles: 100, Insts: 50}
+	r.Set("fetched_uops", 60)
+	r.Set("issued_uops", 55)
+	r.Set("l1i_accesses", 10)
+	r.Set("l1d_accesses", 20)
+	r.Set("l2_accesses", 5)
+	r.Set("dram_accesses", 1)
+	r.Set("active_cores", 1)
+	w := Weights{Frontend: 1, Issue: 1, L1Access: 1, L2Access: 10,
+		DRAMAccess: 100, CommTransfer: 1, StaticCore: 2, StaticUncore: 1}
+	b, err := Estimate(&r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 60.0 + 55 + 30 + 50 + 100 + 0 + 100*(1*2+1)
+	if b.Total != want {
+		t.Errorf("total = %v, want %v", b.Total, want)
+	}
+	if b.EPI != want/50 {
+		t.Errorf("EPI = %v", b.EPI)
+	}
+	if b.EDP != want*100 {
+		t.Errorf("EDP = %v", b.EDP)
+	}
+	if len(b.Components()) != 7 {
+		t.Errorf("components = %v", b.Components())
+	}
+}
+
+func TestEstimateRequiresCounts(t *testing.T) {
+	r := stats.Run{Cycles: 10, Insts: 10}
+	if _, err := Estimate(&r, Default()); err == nil {
+		t.Error("run without counts accepted")
+	}
+}
+
+// Integration: the modes' energy must order sensibly — the 2-core modes
+// burn more total energy than the single core on the same work, and
+// Fg-STP's dynamic energy includes communication.
+func TestModeEnergyOrdering(t *testing.T) {
+	m := config.Medium()
+	w, _ := workloads.ByName("milc")
+	tr := w.Trace(15_000)
+	runs, err := cmp.RunAll(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, fgstp := runs[cmp.ModeSingle], runs[cmp.ModeFgSTP]
+	bs, err := Estimate(&single, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := Estimate(&fgstp, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.Total <= bs.Total {
+		t.Errorf("fgstp energy %.0f not above single %.0f (two active cores + replicas)",
+			bg.Total, bs.Total)
+	}
+	c := Against(&single, bs, &fgstp, bg)
+	if c.Speedup <= 0 || c.EnergyRatio <= 1 {
+		t.Errorf("comparison implausible: %+v", c)
+	}
+	t.Logf("milc medium: speedup %.3f, energy ratio %.3f, EDP gain %.3f",
+		c.Speedup, c.EnergyRatio, c.EDPGain)
+}
+
+// Static energy dominates when a machine idles: a slow run on more
+// cores must pay for it.
+func TestStaticScalesWithCoresAndCycles(t *testing.T) {
+	mk := func(cycles uint64, cores float64) Breakdown {
+		r := stats.Run{Cycles: cycles, Insts: 1}
+		r.Set("active_cores", cores)
+		b, err := Estimate(&r, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	oneCore := mk(1000, 1)
+	twoCores := mk(1000, 2)
+	longer := mk(2000, 1)
+	if twoCores.Total <= oneCore.Total {
+		t.Error("two active cores must cost more static energy")
+	}
+	if longer.Total != oneCore.Total+1000*Default().StaticCore+1000*Default().StaticUncore {
+		t.Errorf("static energy must scale linearly with cycles: %v vs %v",
+			longer.Total, oneCore.Total)
+	}
+}

@@ -1,0 +1,531 @@
+// Package experiments regenerates every table and figure of the Fg-STP
+// evaluation (as reconstructed in DESIGN.md — see the source-text
+// caveat there): experiment identifiers E1..E10 map to the paper's
+// configuration table, the two headline speedup figures, the mechanism
+// ablations, the fabric sensitivity sweeps, the characterisation table
+// and the suite split.
+//
+// Each experiment returns formatted tables plus named headline metrics
+// (geomeans, fractions) that EXPERIMENTS.md records against the paper's
+// reported shape and the repository tests assert on.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Result is the output of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	// Notes explain what the experiment stands in for and how to read
+	// it.
+	Notes []string
+	// Metrics are the headline numbers (keyed by snake_case name).
+	Metrics map[string]float64
+}
+
+func (r *Result) metric(key string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[key] = v
+}
+
+// String renders the full experiment output.
+func (r *Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		out += "   " + n + "\n"
+	}
+	out += "\n"
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out += fmt.Sprintf("   %-40s %.4f\n", k, r.Metrics[k])
+		}
+	}
+	return out
+}
+
+// runner bundles the common parameters of an experiment run.
+type runner struct {
+	insts  uint64
+	traces map[string]*trace.Trace
+	// singles caches single-core runs (keyed machine/workload): the
+	// sensitivity sweeps mutate only the Fg-STP fabric, so the single
+	// baseline is invariant.
+	singles map[string]stats.Run
+}
+
+func newRunner(insts uint64) *runner {
+	return &runner{
+		insts:   insts,
+		traces:  make(map[string]*trace.Trace),
+		singles: make(map[string]stats.Run),
+	}
+}
+
+// singleOf runs (and memoises) the single-core baseline.
+func (r *runner) singleOf(m config.Machine, w workloads.Workload) (stats.Run, error) {
+	key := m.Name + "/" + w.Name
+	if s, ok := r.singles[key]; ok {
+		return s, nil
+	}
+	s, err := cmp.Run(m, cmp.ModeSingle, r.traceOf(w))
+	if err != nil {
+		return stats.Run{}, err
+	}
+	r.singles[key] = s
+	return s, nil
+}
+
+// traceOf captures (and memoises) a workload trace.
+func (r *runner) traceOf(w workloads.Workload) *trace.Trace {
+	if t, ok := r.traces[w.Name]; ok {
+		return t
+	}
+	t := w.Trace(r.insts)
+	r.traces[w.Name] = t
+	return t
+}
+
+// IDs lists the paper-reconstruction experiment identifiers in order.
+// The extension studies E11 (energy) and E12 (adaptive reconfiguration)
+// run individually but are excluded from "all".
+func IDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+}
+
+// ExtensionIDs lists the extension experiments.
+func ExtensionIDs() []string { return []string{"E11", "E12"} }
+
+// Run executes one experiment with the given per-run instruction
+// budget (0 picks the default of 100k).
+func Run(id string, insts uint64) (*Result, error) {
+	if insts == 0 {
+		insts = 100_000
+	}
+	r := newRunner(insts)
+	switch id {
+	case "E1":
+		return r.e1()
+	case "E2":
+		return r.speedupFigure("E2", config.Medium())
+	case "E3":
+		return r.speedupFigure("E3", config.Small())
+	case "E4":
+		return r.e4()
+	case "E5":
+		return r.e5()
+	case "E6":
+		return r.e6()
+	case "E7":
+		return r.e7()
+	case "E8":
+		return r.e8()
+	case "E9":
+		return r.e9()
+	case "E10":
+		return r.e10()
+	case "E11":
+		return r.e11()
+	case "E12":
+		return r.e12()
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want E1..E10, or extensions E11/E12)", id)
+	}
+}
+
+// ---------------------------------------------------------------- E1
+
+func (r *runner) e1() (*Result, error) {
+	res := &Result{
+		ID:    "E1",
+		Title: "Machine configurations (stands in for the paper's Table 1)",
+		Notes: []string{
+			"Small/medium core sizings follow the Core Fusion design points the paper compares on.",
+		},
+	}
+	tb := stats.NewTable("Core pipelines", "parameter", "small", "medium")
+	s, m := config.Small(), config.Medium()
+	row := func(name string, a, b int) { tb.AddRowf(name, a, b) }
+	row("fetch/rename/issue/commit width", s.Core.FetchWidth, m.Core.FetchWidth)
+	row("ROB entries", s.Core.ROBSize, m.Core.ROBSize)
+	row("issue queue entries", s.Core.IQSize, m.Core.IQSize)
+	row("load/store queue", s.Core.LQSize, m.Core.LQSize)
+	row("int ALUs", s.Core.IntALU, m.Core.IntALU)
+	row("FPUs", s.Core.FPU, m.Core.FPU)
+	row("load ports", s.Core.LoadPorts, m.Core.LoadPorts)
+	row("frontend depth (cycles)", s.Core.FrontendDepth, m.Core.FrontendDepth)
+	row("L1D KiB", s.Hier.L1D.SizeBytes>>10, m.Hier.L1D.SizeBytes>>10)
+	row("L1D hit cycles", s.Hier.L1D.LatencyCycles, m.Hier.L1D.LatencyCycles)
+	row("L2 KiB (shared)", s.Hier.L2.SizeBytes>>10, m.Hier.L2.SizeBytes>>10)
+	row("L2 hit cycles", s.Hier.L2.LatencyCycles, m.Hier.L2.LatencyCycles)
+	row("DRAM cycles", s.Hier.DRAMLatency, m.Hier.DRAMLatency)
+	res.Tables = append(res.Tables, tb)
+
+	f := m.FgSTP
+	tf := stats.NewTable("Fg-STP fabric (both presets)", "parameter", "value")
+	tf.AddRowf("lookahead window (insts)", f.Window)
+	tf.AddRowf("comm latency (cycles)", f.CommLatency)
+	tf.AddRowf("comm bandwidth (values/cycle/dir)", f.CommBandwidth)
+	tf.AddRowf("comm queue (values)", f.CommQueue)
+	tf.AddRowf("sequencer fetch bandwidth", f.FetchBandwidth)
+	tf.AddRowf("steering", f.Steering)
+	tf.AddRowf("balance threshold", f.BalanceThreshold)
+	tf.AddRowf("dep pred bits (load-wait table)", f.DepPredBits)
+	res.Tables = append(res.Tables, tf)
+
+	fo := m.Fusion
+	tc := stats.NewTable("Core Fusion overheads (ISCA'07 terms)", "parameter", "value")
+	tc.AddRowf("extra frontend stages", fo.ExtraFrontend)
+	tc.AddRowf("extra mispredict cycles", fo.ExtraMispredict)
+	tc.AddRowf("cross-cluster bypass (cycles)", fo.CrossClusterBypass)
+	tc.AddRowf("L1 crossbar latency (cycles)", fo.L1CrossbarLatency)
+	res.Tables = append(res.Tables, tc)
+	return res, nil
+}
+
+// ------------------------------------------------------------- E2 / E3
+
+// speedupFigure regenerates the per-benchmark speedup figure for one
+// machine: Fg-STP and Core Fusion over the single core.
+func (r *runner) speedupFigure(id string, m config.Machine) (*Result, error) {
+	res := &Result{
+		ID: id,
+		Title: fmt.Sprintf("Per-benchmark speedup on the %s 2-core CMP (headline figure)",
+			m.Name),
+		Notes: []string{
+			"Paper shape: Fg-STP beats Core Fusion by ~18% (medium) / ~7% (small) geomean on SPEC 2006.",
+		},
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("IPC and speedup over single core (%s, %d insts/run)", m.Name, r.insts),
+		"benchmark", "suite", "single", "corefusion", "fgstp", "fusion/single", "fgstp/single", "fgstp/fusion")
+
+	var spS, spF []float64
+	var spSInt, spSFp []float64
+	for _, w := range workloads.All() {
+		tr := r.traceOf(w)
+		runs, err := cmp.RunAll(m, tr)
+		if err != nil {
+			return nil, err
+		}
+		s, f, g := runs[cmp.ModeSingle], runs[cmp.ModeFusion], runs[cmp.ModeFgSTP]
+		gs := stats.Speedup(&s, &g)
+		gf := stats.Speedup(&f, &g)
+		spS = append(spS, gs)
+		spF = append(spF, gf)
+		if w.Suite == "int" {
+			spSInt = append(spSInt, gs)
+		} else {
+			spSFp = append(spSFp, gs)
+		}
+		tb.AddRowf(w.Name, w.Suite, s.IPC(), f.IPC(), g.IPC(),
+			stats.Speedup(&s, &f), gs, gf)
+	}
+	tb.AddRowf("GEOMEAN", "", "", "", "", "", stats.Geomean(spS), stats.Geomean(spF))
+	res.Tables = append(res.Tables, tb)
+	res.metric("geomean_fgstp_vs_single", stats.Geomean(spS))
+	res.metric("geomean_fgstp_vs_fusion", stats.Geomean(spF))
+	res.metric("geomean_int_fgstp_vs_single", stats.Geomean(spSInt))
+	res.metric("geomean_fp_fgstp_vs_single", stats.Geomean(spSFp))
+	return res, nil
+}
+
+// ---------------------------------------------------------------- E4
+
+// e4 ablates the three headline mechanisms (medium machine).
+func (r *runner) e4() (*Result, error) {
+	res := &Result{
+		ID:    "E4",
+		Title: "Mechanism ablation (medium): replication, dependence speculation, steering",
+		Notes: []string{
+			"Each variant removes one mechanism; speedups are geomeans over the single core.",
+		},
+	}
+	variants := []struct {
+		name   string
+		mutate func(*config.Machine)
+	}{
+		{"full", func(*config.Machine) {}},
+		{"no-replication", func(m *config.Machine) { m.FgSTP.Replication = false }},
+		{"no-dep-speculation", func(m *config.Machine) { m.FgSTP.DepSpeculation = false }},
+		{"steer-roundrobin", func(m *config.Machine) { m.FgSTP.Steering = "roundrobin" }},
+		{"steer-chunk64", func(m *config.Machine) { m.FgSTP.Steering = "chunk64" }},
+	}
+	tb := stats.NewTable("Geomean speedup over single core",
+		"variant", "geomean", "vs full")
+	var full float64
+	for _, v := range variants {
+		m := config.Medium()
+		v.mutate(&m)
+		var sp []float64
+		for _, w := range workloads.All() {
+			s, err := r.singleOf(m, w)
+			if err != nil {
+				return nil, err
+			}
+			g, err := cmp.Run(m, cmp.ModeFgSTP, r.traceOf(w))
+			if err != nil {
+				return nil, err
+			}
+			sp = append(sp, stats.Speedup(&s, &g))
+		}
+		gm := stats.Geomean(sp)
+		if v.name == "full" {
+			full = gm
+		}
+		tb.AddRowf(v.name, gm, gm/full)
+		res.metric("geomean_"+v.name, gm)
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// ---------------------------------------------------------------- E5
+
+func (r *runner) e5() (*Result, error) {
+	res := &Result{
+		ID:    "E5",
+		Title: "Inter-core communication latency sensitivity (medium)",
+		Notes: []string{"Geomean Fg-STP speedup over single core as the value-transfer latency grows."},
+	}
+	tb := stats.NewTable("Comm latency sweep", "latency", "geomean speedup", "vs 1-cycle")
+	var base float64
+	for _, lat := range []int{1, 2, 4, 8} {
+		m := config.Medium()
+		m.FgSTP.CommLatency = lat
+		gm, err := r.fgstpGeomean(m)
+		if err != nil {
+			return nil, err
+		}
+		if lat == 1 {
+			base = gm
+		}
+		tb.AddRowf(fmt.Sprintf("%d", lat), gm, gm/base)
+		res.metric(fmt.Sprintf("geomean_lat%d", lat), gm)
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// ---------------------------------------------------------------- E6
+
+func (r *runner) e6() (*Result, error) {
+	res := &Result{
+		ID:    "E6",
+		Title: "Communication bandwidth and queue sensitivity (medium)",
+		Notes: []string{
+			"Bandwidth swept at the default 2-cycle latency; queue swept at 8-cycle latency where occupancy binds.",
+		},
+	}
+	tb := stats.NewTable("Bandwidth sweep (latency 2, queue 16)",
+		"values/cycle", "geomean speedup")
+	for _, bw := range []int{1, 2, 4} {
+		m := config.Medium()
+		m.FgSTP.CommBandwidth = bw
+		gm, err := r.fgstpGeomean(m)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRowf(fmt.Sprintf("%d", bw), gm)
+		res.metric(fmt.Sprintf("geomean_bw%d", bw), gm)
+	}
+	res.Tables = append(res.Tables, tb)
+
+	tq := stats.NewTable("Queue sweep (latency 8, bandwidth 2)",
+		"queue entries", "geomean speedup")
+	for _, q := range []int{4, 16, 64} {
+		m := config.Medium()
+		m.FgSTP.CommLatency = 8
+		m.FgSTP.CommQueue = q
+		gm, err := r.fgstpGeomean(m)
+		if err != nil {
+			return nil, err
+		}
+		tq.AddRowf(fmt.Sprintf("%d", q), gm)
+		res.metric(fmt.Sprintf("geomean_q%d", q), gm)
+	}
+	res.Tables = append(res.Tables, tq)
+
+	// Stress variant: round-robin steering generates an order of
+	// magnitude more traffic, exposing the channel limits the
+	// affinity-steered machine never reaches.
+	ts := stats.NewTable("Bandwidth sweep under round-robin steering (stress)",
+		"values/cycle", "geomean speedup")
+	for _, bw := range []int{1, 2, 4} {
+		m := config.Medium()
+		m.FgSTP.Steering = "roundrobin"
+		m.FgSTP.CommBandwidth = bw
+		gm, err := r.fgstpGeomean(m)
+		if err != nil {
+			return nil, err
+		}
+		ts.AddRowf(fmt.Sprintf("%d", bw), gm)
+		res.metric(fmt.Sprintf("geomean_stress_bw%d", bw), gm)
+	}
+	res.Tables = append(res.Tables, ts)
+	return res, nil
+}
+
+// ---------------------------------------------------------------- E7
+
+func (r *runner) e7() (*Result, error) {
+	res := &Result{
+		ID:    "E7",
+		Title: "Lookahead window sensitivity (medium) — the large-instruction-window claim",
+		Notes: []string{"Gains grow with the partitioning window and saturate past the cores' combined ROB reach."},
+	}
+	tb := stats.NewTable("Window sweep", "window", "geomean speedup")
+	for _, win := range []int{64, 128, 256, 512, 1024} {
+		m := config.Medium()
+		m.FgSTP.Window = win
+		gm, err := r.fgstpGeomean(m)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRowf(fmt.Sprintf("%d", win), gm)
+		res.metric(fmt.Sprintf("geomean_win%d", win), gm)
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// ---------------------------------------------------------------- E8
+
+func (r *runner) e8() (*Result, error) {
+	res := &Result{
+		ID:    "E8",
+		Title: "Fg-STP mechanism characterisation (medium)",
+		Notes: []string{
+			"Per-benchmark partition balance, replication rate, communication traffic and speculation behaviour.",
+		},
+	}
+	tb := stats.NewTable("Characterisation",
+		"benchmark", "core1 frac", "replicated", "remote deps", "comm/kinst",
+		"squash/kinst", "bpred acc")
+	m := config.Medium()
+	var balSum, replSum, commSum float64
+	n := 0
+	for _, w := range workloads.All() {
+		tr := r.traceOf(w)
+		g, err := cmp.Run(m, cmp.ModeFgSTP, tr)
+		if err != nil {
+			return nil, err
+		}
+		sq := g.Get("squashes") / float64(tr.Len()) * 1000
+		tb.AddRowf(w.Name, g.Get("steer_core1_frac"), g.Get("replicated_frac"),
+			g.Get("remote_dep_frac"), g.Get("comm_per_kinst"), sq,
+			g.Get("bpred_accuracy"))
+		balSum += g.Get("steer_core1_frac")
+		replSum += g.Get("replicated_frac")
+		commSum += g.Get("comm_per_kinst")
+		n++
+	}
+	res.Tables = append(res.Tables, tb)
+	res.metric("mean_core1_frac", balSum/float64(n))
+	res.metric("mean_replicated_frac", replSum/float64(n))
+	res.metric("mean_comm_per_kinst", commSum/float64(n))
+	return res, nil
+}
+
+// ---------------------------------------------------------------- E9
+
+func (r *runner) e9() (*Result, error) {
+	res := &Result{
+		ID:    "E9",
+		Title: "Memory-dependence predictor sensitivity (medium)",
+		Notes: []string{
+			"Conservative waits for all remote store addresses; perfect is an oracle; sized load-wait tables in between.",
+		},
+	}
+	tb := stats.NewTable("Load-wait table sweep", "predictor", "geomean speedup")
+	variants := []struct {
+		name   string
+		mutate func(*config.FgSTP)
+	}{
+		{"conservative", func(f *config.FgSTP) { f.DepSpeculation = false }},
+		{"256-entry", func(f *config.FgSTP) { f.DepPredBits = 8 }},
+		{"2k-entry", func(f *config.FgSTP) { f.DepPredBits = 11 }},
+		{"store-sets", func(f *config.FgSTP) { f.UseStoreSets = true }},
+		{"perfect", func(f *config.FgSTP) { f.DepPredBits = -1 }},
+	}
+	for _, v := range variants {
+		m := config.Medium()
+		v.mutate(&m.FgSTP)
+		gm, err := r.fgstpGeomean(m)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRowf(v.name, gm)
+		res.metric("geomean_"+v.name, gm)
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// ---------------------------------------------------------------- E10
+
+func (r *runner) e10() (*Result, error) {
+	res := &Result{
+		ID:    "E10",
+		Title: "SPECint vs SPECfp breakdown (both machines)",
+	}
+	tb := stats.NewTable("Geomean speedups by suite",
+		"machine", "suite", "fgstp/single", "fgstp/fusion")
+	for _, m := range []config.Machine{config.Small(), config.Medium()} {
+		for _, suite := range []string{"int", "fp"} {
+			var spS, spF []float64
+			for _, w := range workloads.Suite(suite) {
+				tr := r.traceOf(w)
+				runs, err := cmp.RunAll(m, tr)
+				if err != nil {
+					return nil, err
+				}
+				s, f, g := runs[cmp.ModeSingle], runs[cmp.ModeFusion], runs[cmp.ModeFgSTP]
+				spS = append(spS, stats.Speedup(&s, &g))
+				spF = append(spF, stats.Speedup(&f, &g))
+			}
+			tb.AddRowf(m.Name, suite, stats.Geomean(spS), stats.Geomean(spF))
+			res.metric(fmt.Sprintf("%s_%s_fgstp_vs_single", m.Name, suite), stats.Geomean(spS))
+			res.metric(fmt.Sprintf("%s_%s_fgstp_vs_fusion", m.Name, suite), stats.Geomean(spF))
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// fgstpGeomean runs every workload in single and fgstp mode on machine
+// m and returns the geomean speedup.
+func (r *runner) fgstpGeomean(m config.Machine) (float64, error) {
+	var sp []float64
+	for _, w := range workloads.All() {
+		s, err := r.singleOf(m, w)
+		if err != nil {
+			return 0, err
+		}
+		g, err := cmp.Run(m, cmp.ModeFgSTP, r.traceOf(w))
+		if err != nil {
+			return 0, err
+		}
+		sp = append(sp, stats.Speedup(&s, &g))
+	}
+	return stats.Geomean(sp), nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Extension experiments: E11 (energy) and E12 (adaptive
+// reconfiguration) study questions the paper motivates but does not
+// evaluate. They are excluded from "all" comparisons against the paper
+// and labelled accordingly.
+
+// e11 compares the modes' energy and energy-delay product under the
+// activity-based model.
+func (r *runner) e11() (*Result, error) {
+	res := &Result{
+		ID:    "E11",
+		Title: "EXTENSION — energy and energy-delay product by mode (medium)",
+		Notes: []string{
+			"Activity-based model (internal/energy); arbitrary units, ratios are the result.",
+			"Not a paper figure: the paper motivates the power wall but does not report energy.",
+		},
+	}
+	m := config.Medium()
+	weights := energy.Default()
+	tb := stats.NewTable("Geomean ratios vs the single core",
+		"mode", "speedup", "energy ratio", "EDP gain")
+	type acc struct{ sp, en, edp []float64 }
+	sums := map[cmp.Mode]*acc{cmp.ModeFusion: {}, cmp.ModeFgSTP: {}}
+	for _, w := range workloads.All() {
+		tr := r.traceOf(w)
+		runs, err := cmp.RunAll(m, tr)
+		if err != nil {
+			return nil, err
+		}
+		single := runs[cmp.ModeSingle]
+		baseB, err := energy.Estimate(&single, weights)
+		if err != nil {
+			return nil, err
+		}
+		for mode, a := range sums {
+			run := runs[mode]
+			b, err := energy.Estimate(&run, weights)
+			if err != nil {
+				return nil, err
+			}
+			c := energy.Against(&single, baseB, &run, b)
+			a.sp = append(a.sp, c.Speedup)
+			a.en = append(a.en, c.EnergyRatio)
+			a.edp = append(a.edp, c.EDPGain)
+		}
+	}
+	for _, mode := range []cmp.Mode{cmp.ModeFusion, cmp.ModeFgSTP} {
+		a := sums[mode]
+		tb.AddRowf(string(mode), stats.Geomean(a.sp), stats.Geomean(a.en),
+			stats.Geomean(a.edp))
+		res.metric(string(mode)+"_energy_ratio", stats.Geomean(a.en))
+		res.metric(string(mode)+"_edp_gain", stats.Geomean(a.edp))
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// e12 compares reconfiguration policies at phase granularity on a
+// representative workload subset (full phase studies are expensive:
+// every phase runs in both modes).
+func (r *runner) e12() (*Result, error) {
+	res := &Result{
+		ID:    "E12",
+		Title: "EXTENSION — dynamic reconfiguration policies (medium)",
+		Notes: []string{
+			"Phase-granularity mode selection with switch penalties (internal/adaptive).",
+			"Not a paper figure: region-level reconfiguration is future work there.",
+		},
+	}
+	subset := []string{"astar", "hmmer", "gobmk", "bwaves", "omnetpp", "xalancbmk"}
+	cfg := adaptive.Config{PhaseInsts: int(r.insts) / 8, SwitchPenalty: 200}
+	if cfg.PhaseInsts < 1000 {
+		cfg.PhaseInsts = 1000
+	}
+	m := config.Medium()
+	tb := stats.NewTable(
+		fmt.Sprintf("IPC by policy (%d-inst phases, %d-cycle switch)",
+			cfg.PhaseInsts, cfg.SwitchPenalty),
+		"workload", "single", "fgstp", "history", "oracle")
+	type gm struct{ s, f, h, o []float64 }
+	var g gm
+	for _, name := range subset {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		tr := r.traceOf(w)
+		_, results, err := adaptive.Compare(m, tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rs := results[adaptive.PolicyAlwaysSingle]
+		rf := results[adaptive.PolicyAlwaysFgSTP]
+		rh := results[adaptive.PolicyHistory]
+		ro := results[adaptive.PolicyOracle]
+		tb.AddRowf(name, rs.IPC(), rf.IPC(), rh.IPC(), ro.IPC())
+		g.s = append(g.s, rs.IPC())
+		g.f = append(g.f, rf.IPC())
+		g.h = append(g.h, rh.IPC())
+		g.o = append(g.o, ro.IPC())
+	}
+	tb.AddRowf("GEOMEAN", stats.Geomean(g.s), stats.Geomean(g.f),
+		stats.Geomean(g.h), stats.Geomean(g.o))
+	res.metric("geomean_ipc_single", stats.Geomean(g.s))
+	res.metric("geomean_ipc_fgstp", stats.Geomean(g.f))
+	res.metric("geomean_ipc_history", stats.Geomean(g.h))
+	res.metric("geomean_ipc_oracle", stats.Geomean(g.o))
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package isa
+
+import "fmt"
+
+// WordSize is the memory access granularity in bytes. All loads and
+// stores in the ISA move one 8-byte word; the cache models only need
+// the address and size.
+const WordSize = 8
+
+// DynInst is one dynamically executed instruction as emitted by the
+// functional executor and consumed by every timing model. It carries
+// the architectural facts a trace-driven simulator needs: identity
+// (Seq, PC), dataflow (Dst, Src*), memory behaviour (Addr) and control
+// behaviour (Taken, Target, NextPC).
+//
+// DynInst is a plain value; timing models wrap it in their own
+// in-flight records rather than mutating it.
+type DynInst struct {
+	// Seq is the global program-order sequence number, starting at 0.
+	Seq uint64
+	// PC is the address of the instruction.
+	PC uint64
+	// Class selects the functional unit and scheduling behaviour.
+	Class Class
+	// Dst is the destination register, or RegNone.
+	Dst Reg
+	// Src1, Src2, Src3 are source registers, RegNone when unused.
+	// Stores carry their data register in Src3 by convention.
+	Src1, Src2, Src3 Reg
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Taken reports the actual outcome of a branch; jumps are always
+	// taken.
+	Taken bool
+	// Target is the actual control-flow target of a taken branch or
+	// jump.
+	Target uint64
+	// NextPC is the address of the next dynamic instruction; for
+	// non-control instructions this is PC+4, for taken control flow it
+	// equals Target.
+	NextPC uint64
+	// Indirect marks a jump whose target comes from a register (jr,
+	// ret): the front end needs a BTB or return stack to predict it.
+	Indirect bool
+	// IsCall and IsRet mark call/return jumps for return-stack
+	// maintenance.
+	IsCall bool
+	IsRet  bool
+}
+
+// HasDst reports whether the instruction produces a register value.
+// R0 writes are architectural no-ops and create no dependence.
+func (d *DynInst) HasDst() bool { return d.Dst.Valid() && d.Dst != R0 }
+
+// Sources appends the instruction's real source registers (valid,
+// non-R0) to buf and returns it. buf may be nil; callers typically pass
+// a small stack-allocated slice to avoid heap traffic.
+func (d *DynInst) Sources(buf []Reg) []Reg {
+	for _, r := range [3]Reg{d.Src1, d.Src2, d.Src3} {
+		if r.Valid() && r != R0 {
+			buf = append(buf, r)
+		}
+	}
+	return buf
+}
+
+// IsLoad reports whether the instruction is a load.
+func (d *DynInst) IsLoad() bool { return d.Class == ClassLoad }
+
+// IsStore reports whether the instruction is a store.
+func (d *DynInst) IsStore() bool { return d.Class == ClassStore }
+
+// IsCtrl reports whether the instruction can redirect fetch.
+func (d *DynInst) IsCtrl() bool { return d.Class.IsCtrl() }
+
+// String renders the dynamic instruction for debug output.
+func (d *DynInst) String() string {
+	switch d.Class {
+	case ClassLoad:
+		return fmt.Sprintf("#%d pc=%#x load %s <- [%#x]", d.Seq, d.PC, d.Dst, d.Addr)
+	case ClassStore:
+		return fmt.Sprintf("#%d pc=%#x store [%#x] <- %s", d.Seq, d.PC, d.Addr, d.Src3)
+	case ClassBranch:
+		return fmt.Sprintf("#%d pc=%#x branch taken=%v target=%#x", d.Seq, d.PC, d.Taken, d.Target)
+	case ClassJump:
+		return fmt.Sprintf("#%d pc=%#x jump target=%#x", d.Seq, d.PC, d.Target)
+	default:
+		return fmt.Sprintf("#%d pc=%#x %s %s <- %s,%s", d.Seq, d.PC, d.Class, d.Dst, d.Src1, d.Src2)
+	}
+}

@@ -1,0 +1,33 @@
+package mem
+
+import "testing"
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "b", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+func BenchmarkCacheAccessMissStream(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "b", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+}
+
+func BenchmarkHierarchyLoad(b *testing.B) {
+	h := NewHierarchy(HierarchyConfig{
+		L1I:         CacheConfig{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3},
+		L1D:         CacheConfig{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3},
+		L2:          CacheConfig{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, LatencyCycles: 12},
+		DRAMLatency: 150,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(uint64(i%4096) * 8)
+	}
+}

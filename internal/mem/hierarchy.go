@@ -1,0 +1,161 @@
+package mem
+
+import "fmt"
+
+// HierarchyConfig sizes a core's view of the memory system. L2 may be
+// private or shared between cores; sharing is decided by the CMP
+// composition, which passes the same *Cache to both hierarchies.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	// DRAMLatency is the flat miss-to-memory cost in cycles.
+	DRAMLatency int
+	// NextLinePrefetch enables a next-line prefetch into L2 on every
+	// L1D miss.
+	NextLinePrefetch bool
+}
+
+// Validate reports configuration errors.
+func (c *HierarchyConfig) Validate() error {
+	for _, cc := range []*CacheConfig{&c.L1I, &c.L1D, &c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.DRAMLatency < 1 {
+		return fmt.Errorf("hierarchy: DRAM latency %d < 1", c.DRAMLatency)
+	}
+	return nil
+}
+
+// Hierarchy is one core's memory system: private L1I and L1D over an
+// L2 that other cores may share. All methods return the access latency
+// in cycles and update cache state.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache // possibly shared with a peer hierarchy
+
+	dramLatency int
+	prefetch    bool
+
+	// peers are other cores' L1Ds invalidated by our stores (a minimal
+	// write-invalidate protocol; see InvalidatePeers).
+	peers []*Cache
+
+	// Prefetches counts issued next-line prefetches.
+	Prefetches uint64
+	// DRAMAccesses counts accesses that went all the way to memory.
+	DRAMAccesses uint64
+}
+
+// NewHierarchy builds a private hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Hierarchy{
+		L1I:         NewCache(cfg.L1I),
+		L1D:         NewCache(cfg.L1D),
+		L2:          NewCache(cfg.L2),
+		dramLatency: cfg.DRAMLatency,
+		prefetch:    cfg.NextLinePrefetch,
+	}
+}
+
+// NewSharedL2Pair builds two hierarchies with private L1s and a single
+// shared L2, each peer-linked to the other's L1D for store
+// invalidations. This is the memory system of the reconfigured 2-core
+// modes (Core Fusion and Fg-STP).
+func NewSharedL2Pair(cfg HierarchyConfig) (*Hierarchy, *Hierarchy) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	l2 := NewCache(cfg.L2)
+	a := &Hierarchy{
+		L1I: NewCache(cfg.L1I), L1D: NewCache(cfg.L1D), L2: l2,
+		dramLatency: cfg.DRAMLatency, prefetch: cfg.NextLinePrefetch,
+	}
+	b := &Hierarchy{
+		L1I: NewCache(cfg.L1I), L1D: NewCache(cfg.L1D), L2: l2,
+		dramLatency: cfg.DRAMLatency, prefetch: cfg.NextLinePrefetch,
+	}
+	a.peers = []*Cache{b.L1D}
+	b.peers = []*Cache{a.L1D}
+	return a, b
+}
+
+// Fetch models an instruction fetch of the line containing pc and
+// returns its latency. On a miss the front end's stream prefetcher
+// brings the next line in as well, hiding sequential instruction
+// misses after the first — the behaviour of every contemporary fetch
+// unit, and required for straight-line code not to pay DRAM per line.
+func (h *Hierarchy) Fetch(pc uint64) int {
+	lat := h.L1I.Config().LatencyCycles
+	if hit, _ := h.L1I.Access(pc, false); !hit {
+		lat += h.accessL2(pc, false)
+	}
+	// Stream-prefetch the next line whenever it is absent, so only the
+	// first line of a sequential run pays the miss.
+	next := h.L1I.LineAddr(pc) + uint64(h.L1I.Config().LineBytes)
+	if !h.L1I.Lookup(next) {
+		h.Prefetches++
+		h.L1I.Access(next, false)
+		h.L2.Access(next, false)
+	}
+	return lat
+}
+
+// Load models a data load and returns its latency.
+func (h *Hierarchy) Load(addr uint64) int {
+	if hit, _ := h.L1D.Access(addr, false); hit {
+		return h.L1D.Config().LatencyCycles
+	}
+	lat := h.L1D.Config().LatencyCycles + h.accessL2(addr, false)
+	h.maybePrefetch(addr)
+	return lat
+}
+
+// Store models a data store (write-allocate) and returns its latency.
+// Stores retire through a store buffer, so the returned latency only
+// gates store-queue drain, not commit.
+func (h *Hierarchy) Store(addr uint64) int {
+	h.invalidatePeers(addr)
+	if hit, _ := h.L1D.Access(addr, true); hit {
+		return h.L1D.Config().LatencyCycles
+	}
+	lat := h.L1D.Config().LatencyCycles + h.accessL2(addr, true)
+	h.maybePrefetch(addr)
+	return lat
+}
+
+// accessL2 handles an L1 miss: probe L2 and memory, returning the
+// added latency beyond L1.
+func (h *Hierarchy) accessL2(addr uint64, write bool) int {
+	if hit, _ := h.L2.Access(addr, write); hit {
+		return h.L2.Config().LatencyCycles
+	}
+	h.DRAMAccesses++
+	return h.L2.Config().LatencyCycles + h.dramLatency
+}
+
+func (h *Hierarchy) maybePrefetch(addr uint64) {
+	if !h.prefetch {
+		return
+	}
+	next := h.L2.LineAddr(addr) + uint64(h.L2.Config().LineBytes)
+	if !h.L2.Lookup(next) {
+		h.Prefetches++
+		h.L2.Access(next, false)
+	}
+}
+
+// invalidatePeers removes the stored-to line from peer L1Ds, the
+// latency-visible half of a write-invalidate protocol. The data itself
+// is architecturally correct by construction (trace-driven).
+func (h *Hierarchy) invalidatePeers(addr uint64) {
+	for _, p := range h.peers {
+		p.Invalidate(p.LineAddr(addr))
+	}
+}

@@ -1,0 +1,166 @@
+// Package ooo implements the cycle-stepped, trace-driven out-of-order
+// core model every machine mode is built from: an autonomous front end
+// (branch predictors + I-cache) or an externally sequenced one (used by
+// Fg-STP), register renaming, clustered or unified issue, functional
+// units, a load/store queue with store-to-load forwarding and
+// speculative memory disambiguation, and in-order commit with
+// hook-based global gating.
+//
+// The model is trace driven: instructions arrive as isa.DynInst records
+// with their architectural outcomes already known. Branch mispredictions
+// are modelled as fetch stalls until the branch resolves (wrong-path
+// instructions occupy no resources), the standard approximation for
+// trace-driven timing studies; it is applied identically to every mode
+// compared in the experiments.
+package ooo
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+)
+
+// Config sizes one core (or one fused core, when Clusters == 2).
+type Config struct {
+	Name string
+
+	// Widths, in instructions per cycle.
+	FetchWidth  int
+	FrontWidth  int // decode/rename/dispatch width
+	IssueWidth  int
+	CommitWidth int
+
+	// Window sizes. IQSize is per cluster.
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+
+	// Functional units, per cluster.
+	IntALU     int
+	IntMulDiv  int
+	FPU        int
+	LoadPorts  int
+	StorePorts int
+
+	// FrontendDepth is the fetch-to-dispatch pipeline depth in cycles;
+	// it sets the branch misprediction refill cost.
+	FrontendDepth int
+	// ExtraMispredictPenalty adds redirect cycles on top of resolution
+	// (Core Fusion's remote fetch-management round trip).
+	ExtraMispredictPenalty int
+
+	// Clusters is 1 for a conventional core, 2 for a fused (Core
+	// Fusion style) core. With 2 clusters the IQ and FU counts above
+	// are replicated per cluster, operands crossing clusters pay
+	// CrossClusterBypass cycles, and each cross-cluster operand
+	// consumes one extra front-end slot for the copy instruction the
+	// steering-management unit inserts.
+	Clusters           int
+	CrossClusterBypass int
+
+	// ExternalFrontend disables the core's own predictor and I-cache:
+	// fetch timing is governed entirely by the Stream (the Fg-STP
+	// global sequencer). Branch outcomes are then resolved by whoever
+	// owns the front end.
+	ExternalFrontend bool
+
+	// Predictor configures the core's own front end (ignored when
+	// ExternalFrontend).
+	Predictor bpred.Config
+
+	// DepPredBits sizes the load-wait table for speculative memory
+	// disambiguation: 0 means conservative (loads wait for all older
+	// store addresses), -1 means perfect (oracle) disambiguation.
+	DepPredBits int
+
+	// Latencies overrides the per-class execution latencies; zero
+	// value means isa.DefaultLatencies.
+	Latencies [isa.NumClasses]isa.Latency
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	pos := func(v int, what string) error {
+		if v <= 0 {
+			return fmt.Errorf("core %s: %s must be positive, got %d", c.Name, what, v)
+		}
+		return nil
+	}
+	checks := []struct {
+		v    int
+		what string
+	}{
+		{c.FetchWidth, "fetch width"},
+		{c.FrontWidth, "front width"},
+		{c.IssueWidth, "issue width"},
+		{c.CommitWidth, "commit width"},
+		{c.ROBSize, "ROB size"},
+		{c.IQSize, "IQ size"},
+		{c.LQSize, "LQ size"},
+		{c.SQSize, "SQ size"},
+		{c.IntALU, "int ALUs"},
+		{c.IntMulDiv, "int mul/div units"},
+		{c.FPU, "FPUs"},
+		{c.LoadPorts, "load ports"},
+		{c.StorePorts, "store ports"},
+		{c.FrontendDepth, "frontend depth"},
+	}
+	for _, ch := range checks {
+		if err := pos(ch.v, ch.what); err != nil {
+			return err
+		}
+	}
+	if c.Clusters != 1 && c.Clusters != 2 {
+		return fmt.Errorf("core %s: clusters must be 1 or 2, got %d", c.Name, c.Clusters)
+	}
+	if c.Clusters == 2 && c.CrossClusterBypass < 0 {
+		return fmt.Errorf("core %s: negative cross-cluster bypass", c.Name)
+	}
+	if c.ExtraMispredictPenalty < 0 {
+		return fmt.Errorf("core %s: negative extra mispredict penalty", c.Name)
+	}
+	if c.DepPredBits < -1 || c.DepPredBits > 20 {
+		return fmt.Errorf("core %s: dep pred bits %d out of range [-1,20]", c.Name, c.DepPredBits)
+	}
+	if !c.ExternalFrontend {
+		if err := c.Predictor.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// latencies returns the effective latency table.
+func (c *Config) latencies() [isa.NumClasses]isa.Latency {
+	var zero [isa.NumClasses]isa.Latency
+	if c.Latencies == zero {
+		return isa.DefaultLatencies
+	}
+	return c.Latencies
+}
+
+// Report is the per-core outcome of a simulation.
+type Report struct {
+	Cycles    int64
+	Committed uint64 // program instructions (replicas excluded)
+	Replicas  uint64 // committed replica instructions (Fg-STP only)
+
+	Fetched  uint64
+	Issued   uint64
+	Squashed uint64 // uops discarded by squashes
+
+	BranchMispredicts   uint64
+	IndirectMispredicts uint64
+	MemViolations       uint64
+	Squashes            uint64 // squash events (any cause)
+
+	LoadsForwarded   uint64 // store-to-load forwards from the local SQ
+	LoadsSpeculative uint64 // loads issued past unknown older store addresses
+
+	// Stall accounting: cycles the front end spent blocked, by cause.
+	FetchStallBranch int64
+	FetchStallICache int64
+	FetchStallROB    int64 // dispatch blocked on full ROB/IQ/LSQ
+}

@@ -1,0 +1,807 @@
+package ooo
+
+import (
+	"math"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// notReady is the completeAt sentinel of an un-issued uop.
+const notReady = int64(math.MaxInt64 / 4)
+
+// UOp is one in-flight instruction. The timing fields are written by
+// the pipeline; hooks implementations must treat UOps as read-only.
+type UOp struct {
+	Item    FetchItem
+	Cluster int
+
+	fetchedAt     int64
+	dispatchReady int64
+	dispatched    bool
+	issued        bool
+	issuedAt      int64
+	completeAt    int64
+
+	// Dataflow: for each real source (srcRegs[:nsrc]), either a local
+	// producer uop or an external dependence resolved through hooks.
+	nsrc    int
+	srcRegs [3]isa.Reg
+	prods   [3]*UOp
+	ext     [3]bool
+
+	// Memory state.
+	speculative bool // load issued past unknown older store addresses
+	fwdFrom     *UOp // store this load forwarded from, if any
+
+	mispredicted bool // branch mispredicted by the internal front end
+}
+
+// DI returns the architectural instruction record.
+func (u *UOp) DI() *isa.DynInst { return u.Item.DI }
+
+// GSeq returns the global program-order sequence number.
+func (u *UOp) GSeq() uint64 { return u.Item.GSeq }
+
+// Issued reports whether the uop has issued, and IssuedAt/CompleteAt
+// report its execution timing (valid once issued).
+func (u *UOp) Issued() bool      { return u.issued }
+func (u *UOp) IssuedAt() int64   { return u.issuedAt }
+func (u *UOp) CompleteAt() int64 { return u.completeAt }
+
+// Speculative reports whether this load issued past an older store
+// with unresolved address.
+func (u *UOp) Speculative() bool { return u.speculative }
+
+// Hooks is the extension point the Fg-STP coordinator uses to couple
+// two cores. All methods are called synchronously from Cycle. A nil
+// Hooks yields a self-contained core.
+type Hooks interface {
+	// ExtReadyAt returns the cycle at which source srcIdx of u (whose
+	// producer is not local to this core) becomes usable. Return 0 for
+	// architecturally-ready values; return a future cycle to stall.
+	ExtReadyAt(u *UOp, srcIdx int, now int64) int64
+	// LoadGate reports whether the load u may issue at now, considering
+	// cross-core memory ordering. speculative marks issues that bypass
+	// unresolved remote stores (squashable).
+	LoadGate(u *UOp, now int64) (ok, speculative bool)
+	// LoadExtraLatency returns extra execution cycles for load u
+	// (cross-core store forwarding).
+	LoadExtraLatency(u *UOp) int
+	// OnIssue fires when u starts execution.
+	OnIssue(u *UOp, now int64)
+	// OnComplete fires the cycle u's result is computed (scheduled at
+	// issue time; fired when the core observes completion).
+	OnComplete(u *UOp, now int64)
+	// CanCommit gates commit of u (global program-order commit).
+	CanCommit(u *UOp, now int64) bool
+	// OnCommit fires when u commits.
+	OnCommit(u *UOp, now int64)
+	// OnViolation reports a local memory-order violation at gseq.
+	// Return true if the coordinator takes responsibility for the
+	// squash (both cores); false lets the core squash itself.
+	OnViolation(gseq uint64, now int64) bool
+}
+
+// Core is one out-of-order core (or one fused two-cluster core).
+type Core struct {
+	cfg    Config
+	lat    [isa.NumClasses]isa.Latency
+	hier   *mem.Hierarchy
+	stream Stream
+	hooks  Hooks
+	pred   *bpred.Predictor
+	dep    *DepPred
+
+	fetchq   []*UOp
+	fetchCap int
+	rob      []*UOp
+	lq, sq   []*UOp
+	byGSeq   map[uint64]*UOp
+	rat      [isa.NumRegs]*UOp
+	iqCount  []int
+
+	fetchStallUntil int64
+	blockingBranch  *UOp
+	lastFetchLine   uint64
+
+	// Unpipelined unit reservations, per cluster.
+	mulDivBusy [][]int64
+	fpDivBusy  [][]int64
+
+	// Oracle disambiguation state (DepPredBits == -1): pending store
+	// addresses by word address, maintained from the trace.
+	oracle bool
+
+	pendingViolation uint64 // gseq of load to squash after issue stage, 0=none
+	hasViolation     bool
+
+	rpt Report
+}
+
+// NewCore builds a core over its memory hierarchy and fetch stream.
+// hooks may be nil.
+func NewCore(cfg Config, hier *mem.Hierarchy, stream Stream, hooks Hooks) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{
+		cfg:      cfg,
+		lat:      cfg.latencies(),
+		hier:     hier,
+		stream:   stream,
+		hooks:    hooks,
+		dep:      NewDepPred(cfg.DepPredBits),
+		byGSeq:   make(map[uint64]*UOp, cfg.ROBSize*2),
+		fetchCap: cfg.FetchWidth * (cfg.FrontendDepth + 1),
+		iqCount:  make([]int, cfg.Clusters),
+		oracle:   cfg.DepPredBits < 0,
+	}
+	if !cfg.ExternalFrontend {
+		c.pred = bpred.New(cfg.Predictor)
+	}
+	c.mulDivBusy = make([][]int64, cfg.Clusters)
+	c.fpDivBusy = make([][]int64, cfg.Clusters)
+	for k := 0; k < cfg.Clusters; k++ {
+		c.mulDivBusy[k] = make([]int64, cfg.IntMulDiv)
+		c.fpDivBusy[k] = make([]int64, cfg.FPU)
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Hier returns the core's memory hierarchy.
+func (c *Core) Hier() *mem.Hierarchy { return c.hier }
+
+// Predictor returns the core's branch predictor (nil with an external
+// front end).
+func (c *Core) Predictor() *bpred.Predictor { return c.pred }
+
+// DepPredictor returns the core's memory-dependence predictor.
+func (c *Core) DepPredictor() *DepPred { return c.dep }
+
+// Report returns the core's accumulated statistics.
+func (c *Core) Report() Report { return c.rpt }
+
+// Done reports whether the core has drained: stream exhausted and no
+// instruction in flight.
+func (c *Core) Done() bool {
+	return c.stream.Exhausted() && len(c.fetchq) == 0 && len(c.rob) == 0
+}
+
+// InFlight returns the number of uops in the ROB.
+func (c *Core) InFlight() int { return len(c.rob) }
+
+// OldestUncommitted returns the GSeq at the head of the ROB, or
+// ok=false when the ROB is empty.
+func (c *Core) OldestUncommitted() (uint64, bool) {
+	if len(c.rob) == 0 {
+		return 0, false
+	}
+	return c.rob[0].GSeq(), true
+}
+
+// Cycle advances the core by one clock. Stages run commit → issue →
+// dispatch → fetch so that results become visible with correct
+// single-cycle bypass timing.
+func (c *Core) Cycle(now int64) {
+	c.rpt.Cycles = now + 1
+	c.commit(now)
+	c.issue(now)
+	if c.hasViolation {
+		c.handleViolation(now)
+	}
+	c.dispatch(now)
+	c.fetch(now)
+}
+
+// ---------------------------------------------------------------- fetch
+
+func (c *Core) fetch(now int64) {
+	if c.blockingBranch != nil {
+		u := c.blockingBranch
+		resume := notReady
+		if u.issued {
+			resume = u.completeAt + int64(c.cfg.ExtraMispredictPenalty)
+		}
+		if now < resume {
+			c.rpt.FetchStallBranch++
+			return
+		}
+		c.blockingBranch = nil
+	}
+	if now < c.fetchStallUntil {
+		c.rpt.FetchStallICache++
+		return
+	}
+	width := c.cfg.FetchWidth
+	if c.cfg.ExternalFrontend {
+		// The stream is post-fetch (the global sequencer already paid
+		// I-cache access and branch prediction); the core drains its
+		// delivery queue at buffer-fill rate so steering bursts do not
+		// halve the effective front-end width.
+		width *= 2
+	}
+	for budget := width; budget > 0; budget-- {
+		if len(c.fetchq) >= c.fetchCap {
+			return
+		}
+		item, ok := c.stream.Peek(now)
+		if !ok {
+			return
+		}
+		if !c.cfg.ExternalFrontend {
+			// I-cache: charge a fetch when crossing into a new line;
+			// stall on miss.
+			line := c.hier.L1I.LineAddr(item.DI.PC)
+			if line != c.lastFetchLine {
+				lat := c.hier.Fetch(item.DI.PC)
+				c.lastFetchLine = line
+				if hit := c.hier.L1I.Config().LatencyCycles; lat > hit {
+					c.fetchStallUntil = now + int64(lat-hit)
+					return
+				}
+			}
+		}
+		c.stream.Advance()
+		u := &UOp{
+			Item:          item,
+			fetchedAt:     now,
+			dispatchReady: now + int64(c.cfg.FrontendDepth),
+			completeAt:    notReady,
+		}
+		c.fetchq = append(c.fetchq, u)
+		c.rpt.Fetched++
+
+		if !c.cfg.ExternalFrontend && item.DI.IsCtrl() {
+			if c.observeControl(u) {
+				return // fetch redirect or taken-branch break
+			}
+		}
+	}
+}
+
+// observeControl runs the front-end predictors on a control
+// instruction and returns true if fetch must stop this cycle.
+func (c *Core) observeControl(u *UOp) bool {
+	d := u.DI()
+	switch d.Class {
+	case isa.ClassBranch:
+		if !c.pred.ObserveBranch(d.PC, d.Taken) {
+			c.rpt.BranchMispredicts++
+			u.mispredicted = true
+			c.blockingBranch = u
+			return true
+		}
+		return d.Taken // taken-branch fetch break
+	case isa.ClassJump:
+		correct := true
+		switch {
+		case d.IsRet:
+			correct = c.pred.ObserveReturn(d.Target)
+		case d.Indirect:
+			correct = c.pred.ObserveIndirect(d.PC, d.Target)
+		}
+		if d.IsCall {
+			// The return address is the fall-through PC; NextPC of a
+			// call is its (taken) target.
+			c.pred.ObserveCall(d.PC + isa.InstBytes)
+		}
+		if !correct {
+			c.rpt.IndirectMispredicts++
+			u.mispredicted = true
+			c.blockingBranch = u
+			return true
+		}
+		return true // all jumps break the fetch group
+	}
+	return false
+}
+
+// -------------------------------------------------------------- dispatch
+
+func (c *Core) dispatch(now int64) {
+	for budget := c.cfg.FrontWidth; budget > 0 && len(c.fetchq) > 0; budget-- {
+		u := c.fetchq[0]
+		if u.dispatchReady > now {
+			return
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.rpt.FetchStallROB++
+			return
+		}
+		d := u.DI()
+		if d.IsLoad() && len(c.lq) >= c.cfg.LQSize {
+			c.rpt.FetchStallROB++
+			return
+		}
+		if d.IsStore() && len(c.sq) >= c.cfg.SQSize {
+			c.rpt.FetchStallROB++
+			return
+		}
+		cluster := c.pickCluster(u)
+		if c.iqCount[cluster] >= c.cfg.IQSize {
+			c.rpt.FetchStallROB++
+			return
+		}
+		u.Cluster = cluster
+
+		c.resolveDeps(u)
+
+		// Cross-cluster operands need SMU-inserted copy instructions,
+		// each consuming a front-end slot (Core Fusion).
+		if c.cfg.Clusters > 1 {
+			for i := 0; i < u.nsrc; i++ {
+				if p := u.prods[i]; p != nil && p.Cluster != cluster {
+					budget--
+				}
+			}
+			if budget < 0 {
+				c.rpt.FetchStallROB++
+				return
+			}
+		}
+		c.fetchq = c.fetchq[1:]
+		c.rob = append(c.rob, u)
+		c.byGSeq[u.GSeq()] = u
+		c.iqCount[cluster]++
+		u.dispatched = true
+		if d.IsLoad() {
+			c.lq = append(c.lq, u)
+		}
+		if d.IsStore() {
+			c.sq = append(c.sq, u)
+		}
+		if d.HasDst() {
+			c.rat[d.Dst] = u
+		}
+	}
+}
+
+// resolveDeps fills u's dataflow from either the steering unit's
+// override (Fg-STP) or the local rename table.
+func (c *Core) resolveDeps(u *UOp) {
+	d := u.DI()
+	var buf [3]isa.Reg
+	srcs := d.Sources(buf[:0])
+	u.nsrc = len(srcs)
+	copy(u.srcRegs[:], srcs)
+
+	if u.Item.Deps != nil {
+		for i := range srcs {
+			dep := u.Item.Deps[i]
+			switch {
+			case dep.Producer == NoProducer:
+				// architectural value: ready
+			case dep.Remote:
+				u.ext[i] = true
+			default:
+				// Local producer: still in flight, or already committed
+				// (then the value is architectural).
+				u.prods[i] = c.byGSeq[dep.Producer]
+			}
+		}
+		return
+	}
+	for i, r := range srcs {
+		u.prods[i] = c.rat[r]
+	}
+}
+
+// pickCluster steers a uop to a cluster: the cluster of its first
+// in-flight producer if any, else the cluster with the emptier IQ.
+// (Dependence-based steering per the Core Fusion design.)
+func (c *Core) pickCluster(u *UOp) int {
+	if c.cfg.Clusters == 1 {
+		return 0
+	}
+	d := u.DI()
+	var buf [3]isa.Reg
+	for _, r := range d.Sources(buf[:0]) {
+		if p := c.rat[r]; p != nil && !p.issued {
+			return p.Cluster
+		}
+	}
+	best := 0
+	for k := 1; k < c.cfg.Clusters; k++ {
+		if c.iqCount[k] < c.iqCount[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// ----------------------------------------------------------------- issue
+
+// fuKind groups classes by the pipelined resource pool they consume.
+type fuKind uint8
+
+const (
+	fuALU fuKind = iota
+	fuMulDiv
+	fuFP
+	fuLoad
+	fuStore
+	fuNone
+)
+
+func kindOf(cl isa.Class) fuKind {
+	switch cl {
+	case isa.ClassIntAlu, isa.ClassBranch, isa.ClassJump:
+		return fuALU
+	case isa.ClassIntMul, isa.ClassIntDiv:
+		return fuMulDiv
+	case isa.ClassFPAlu, isa.ClassFPMul, isa.ClassFPDiv:
+		return fuFP
+	case isa.ClassLoad:
+		return fuLoad
+	case isa.ClassStore:
+		return fuStore
+	default:
+		return fuNone
+	}
+}
+
+func (c *Core) issue(now int64) {
+	type budget struct{ alu, muldiv, fp, ld, st, slots int }
+	budgets := make([]budget, c.cfg.Clusters)
+	for k := range budgets {
+		budgets[k] = budget{
+			alu: c.cfg.IntALU, muldiv: c.cfg.IntMulDiv, fp: c.cfg.FPU,
+			ld: c.cfg.LoadPorts, st: c.cfg.StorePorts, slots: c.cfg.IssueWidth,
+		}
+	}
+
+	for _, u := range c.rob {
+		if u.issued {
+			continue
+		}
+		b := &budgets[u.Cluster]
+		if b.slots == 0 {
+			// This cluster is out of issue slots; others may still go.
+			continue
+		}
+		if !c.operandsReady(u, now) {
+			continue
+		}
+		d := u.DI()
+		kind := kindOf(d.Class)
+		var unit *int64
+		switch kind {
+		case fuALU:
+			if b.alu == 0 {
+				continue
+			}
+		case fuMulDiv:
+			if b.muldiv == 0 {
+				continue
+			}
+			if d.Class == isa.ClassIntDiv {
+				unit = c.freeUnit(c.mulDivBusy[u.Cluster], now)
+				if unit == nil {
+					continue
+				}
+			}
+		case fuFP:
+			if b.fp == 0 {
+				continue
+			}
+			if d.Class == isa.ClassFPDiv {
+				unit = c.freeUnit(c.fpDivBusy[u.Cluster], now)
+				if unit == nil {
+					continue
+				}
+			}
+		case fuLoad:
+			if b.ld == 0 {
+				continue
+			}
+			ok, lat := c.loadReady(u, now)
+			if !ok {
+				continue
+			}
+			c.startExec(u, now, lat)
+			b.ld--
+			b.slots--
+			continue
+		case fuStore:
+			if b.st == 0 {
+				continue
+			}
+			c.startExec(u, now, c.lat[d.Class].Cycles)
+			b.st--
+			b.slots--
+			c.storeAddressKnown(u, now)
+			if c.hasViolation {
+				return // squash pending; stop issuing
+			}
+			continue
+		}
+
+		lat := c.lat[d.Class].Cycles
+		c.startExec(u, now, lat)
+		if unit != nil {
+			*unit = now + int64(lat)
+		}
+		switch kind {
+		case fuALU:
+			b.alu--
+		case fuMulDiv:
+			b.muldiv--
+		case fuFP:
+			b.fp--
+		}
+		b.slots--
+	}
+}
+
+func (c *Core) startExec(u *UOp, now int64, lat int) {
+	u.issued = true
+	u.issuedAt = now
+	u.completeAt = now + int64(lat)
+	c.iqCount[u.Cluster]--
+	c.rpt.Issued++
+	if c.hooks != nil {
+		c.hooks.OnIssue(u, now)
+		c.hooks.OnComplete(u, u.completeAt)
+	}
+}
+
+// freeUnit returns a pointer to an unpipelined unit free at now, or nil.
+func (c *Core) freeUnit(units []int64, now int64) *int64 {
+	for i := range units {
+		if units[i] <= now {
+			return &units[i]
+		}
+	}
+	return nil
+}
+
+// operandsReady checks register dataflow (local bypass network and
+// cross-core channel).
+func (c *Core) operandsReady(u *UOp, now int64) bool {
+	for i := 0; i < u.nsrc; i++ {
+		if u.ext[i] {
+			if c.hooks.ExtReadyAt(u, i, now) > now {
+				return false
+			}
+			continue
+		}
+		p := u.prods[i]
+		if p == nil {
+			continue
+		}
+		if !p.issued {
+			return false
+		}
+		ready := p.completeAt
+		if p.Cluster != u.Cluster {
+			ready += int64(c.cfg.CrossClusterBypass)
+		}
+		if ready > now {
+			return false
+		}
+	}
+	return true
+}
+
+// loadReady decides whether load u can issue now and returns its
+// execution latency. It implements store-to-load forwarding and
+// speculative disambiguation against the local store queue, plus the
+// cross-core gate.
+func (c *Core) loadReady(u *UOp, now int64) (bool, int) {
+	speculative := false
+	var fwd *UOp
+	for i := len(c.sq) - 1; i >= 0; i-- {
+		s := c.sq[i]
+		if s.GSeq() >= u.GSeq() {
+			continue
+		}
+		if s.issued {
+			if fwd == nil && s.DI().Addr == u.DI().Addr {
+				fwd = s
+			}
+			continue
+		}
+		// Older store with unknown address.
+		if c.oracle {
+			// Oracle: wait only on true conflicts.
+			if s.DI().Addr == u.DI().Addr {
+				return false, 0
+			}
+			continue
+		}
+		if c.dep.MustWait(u.DI().PC) {
+			return false, 0
+		}
+		speculative = true
+	}
+	if c.hooks != nil {
+		ok, spec := c.hooks.LoadGate(u, now)
+		if !ok {
+			return false, 0
+		}
+		speculative = speculative || spec
+	}
+	u.speculative = speculative
+	if speculative {
+		c.rpt.LoadsSpeculative++
+	}
+	if fwd != nil {
+		u.fwdFrom = fwd
+		c.rpt.LoadsForwarded++
+		return true, 1
+	}
+	lat := c.hier.Load(u.DI().Addr)
+	if c.hooks != nil {
+		lat += c.hooks.LoadExtraLatency(u)
+	}
+	return true, lat
+}
+
+// storeAddressKnown checks, once store s issues, whether a younger load
+// already issued with the same address and stale data — a memory-order
+// violation.
+func (c *Core) storeAddressKnown(s *UOp, now int64) {
+	var victim *UOp
+	for _, l := range c.lq {
+		if l.GSeq() <= s.GSeq() || !l.issued {
+			continue
+		}
+		if l.DI().Addr != s.DI().Addr {
+			continue
+		}
+		// The load is safe if it forwarded from a store younger than s
+		// (that store's value supersedes s's).
+		if l.fwdFrom != nil && l.fwdFrom.GSeq() > s.GSeq() {
+			continue
+		}
+		if victim == nil || l.GSeq() < victim.GSeq() {
+			victim = l
+		}
+	}
+	if victim == nil {
+		return
+	}
+	c.rpt.MemViolations++
+	c.dep.Violation(victim.DI().PC)
+	c.pendingViolation = victim.GSeq()
+	c.hasViolation = true
+}
+
+func (c *Core) handleViolation(now int64) {
+	gseq := c.pendingViolation
+	c.hasViolation = false
+	c.pendingViolation = 0
+	if c.hooks != nil && c.hooks.OnViolation(gseq, now) {
+		return // coordinator squashes both cores
+	}
+	c.SquashFrom(gseq, now)
+}
+
+// ---------------------------------------------------------------- commit
+
+func (c *Core) commit(now int64) {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		if !u.issued || u.completeAt > now {
+			return
+		}
+		if c.hooks != nil && !c.hooks.CanCommit(u, now) {
+			return
+		}
+		d := u.DI()
+		if d.IsStore() {
+			c.hier.Store(d.Addr)
+		}
+		c.rob = c.rob[1:]
+		delete(c.byGSeq, u.GSeq())
+		if d.IsLoad() {
+			c.lq = c.lq[1:]
+		}
+		if d.IsStore() {
+			c.sq = c.sq[1:]
+		}
+		if d.HasDst() && c.rat[d.Dst] == u {
+			c.rat[d.Dst] = nil
+		}
+		if u.Item.Replica {
+			c.rpt.Replicas++
+		} else {
+			c.rpt.Committed++
+		}
+		if c.hooks != nil {
+			c.hooks.OnCommit(u, now)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- squash
+
+// SquashFrom discards every uop with GSeq >= gseq from the pipeline,
+// rewinds the stream to gseq and restarts fetch. The refetched
+// instructions pay the frontend depth again through dispatchReady.
+func (c *Core) SquashFrom(gseq uint64, now int64) {
+	c.rpt.Squashes++
+
+	// Fetch queue: entries are in GSeq order.
+	for i, u := range c.fetchq {
+		if u.GSeq() >= gseq {
+			c.rpt.Squashed += uint64(len(c.fetchq) - i)
+			c.fetchq = c.fetchq[:i]
+			break
+		}
+	}
+	// ROB and derived structures.
+	cut := len(c.rob)
+	for i, u := range c.rob {
+		if u.GSeq() >= gseq {
+			cut = i
+			break
+		}
+	}
+	for _, u := range c.rob[cut:] {
+		delete(c.byGSeq, u.GSeq())
+		if !u.issued {
+			c.iqCount[u.Cluster]--
+		}
+		c.rpt.Squashed++
+	}
+	c.rob = c.rob[:cut]
+	c.lq = truncateGSeq(c.lq, gseq)
+	c.sq = truncateGSeq(c.sq, gseq)
+
+	// Rebuild the rename table from the surviving window.
+	for i := range c.rat {
+		c.rat[i] = nil
+	}
+	for _, u := range c.rob {
+		if d := u.DI(); d.HasDst() {
+			c.rat[d.Dst] = u
+		}
+	}
+
+	if c.blockingBranch != nil && c.blockingBranch.GSeq() >= gseq {
+		c.blockingBranch = nil
+	}
+	c.stream.Rewind(gseq)
+	// Redirect: fetch restarts next cycle; the refill cost comes from
+	// FrontendDepth on the refetched instructions.
+	if c.fetchStallUntil < now+1 {
+		c.fetchStallUntil = now + 1
+	}
+	// Force the next fetch to re-touch the I-cache line.
+	c.lastFetchLine = ^uint64(0)
+}
+
+func truncateGSeq(q []*UOp, gseq uint64) []*UOp {
+	for i, u := range q {
+		if u.GSeq() >= gseq {
+			return q[:i]
+		}
+	}
+	return q
+}
+
+// ForwardedFrom returns the local store this load received its value
+// from via store-to-load forwarding, or nil.
+func (u *UOp) ForwardedFrom() *UOp { return u.fwdFrom }
+
+// OldestUnfinished returns the GSeq of the oldest instruction this core
+// knows about that has not finished executing by cycle now (in the ROB
+// or still in the fetch queue). ok=false means everything the core
+// holds is complete.
+func (c *Core) OldestUnfinished(now int64) (uint64, bool) {
+	for _, u := range c.rob {
+		if !u.issued || u.completeAt > now {
+			return u.GSeq(), true
+		}
+	}
+	if len(c.fetchq) > 0 {
+		return c.fetchq[0].GSeq(), true
+	}
+	return 0, false
+}

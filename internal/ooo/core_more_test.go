@@ -1,0 +1,247 @@
+package ooo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// External-frontend cores ignore their own predictor and I-cache: a
+// chaotic-branch trace costs the same as a predictable one when the
+// stream is externally paced.
+func TestExternalFrontendSkipsPrediction(t *testing.T) {
+	mk := func(chaotic bool) *trace.Trace {
+		b := program.NewBuilder("x")
+		b.Li(isa.R1, 99991)
+		b.Li(isa.R2, 800)
+		b.Label("loop")
+		if chaotic {
+			b.Mul(isa.R1, isa.R1, isa.R1)
+			b.Shri(isa.R3, isa.R1, 13)
+			b.Andi(isa.R3, isa.R3, 1)
+		} else {
+			b.Li(isa.R3, 0)
+			b.Nop()
+			b.Nop()
+		}
+		b.Bne(isa.R3, isa.R0, "skip")
+		b.Addi(isa.R4, isa.R4, 1)
+		b.Label("skip")
+		b.Addi(isa.R2, isa.R2, -1)
+		b.Bne(isa.R2, isa.R0, "loop")
+		b.Halt()
+		return trace.Capture(b.MustBuild(), 0)
+	}
+	cfg := testConfig()
+	cfg.ExternalFrontend = true
+	run := func(tr *trace.Trace) Report {
+		hier := mem.NewHierarchy(testHier())
+		core := NewCore(cfg, hier, NewTraceStream(tr), nil)
+		Drain(core, tr.Len())
+		return core.Report()
+	}
+	rc := run(mk(true))
+	if rc.BranchMispredicts != 0 {
+		t.Errorf("external frontend recorded %d mispredicts", rc.BranchMispredicts)
+	}
+	if rc.Committed == 0 {
+		t.Error("external frontend core did not run")
+	}
+	if p := func() *Core {
+		hier := mem.NewHierarchy(testHier())
+		return NewCore(cfg, hier, NewTraceStream(mk(false)), nil)
+	}(); p.Predictor() != nil {
+		t.Error("external frontend core must not build a predictor")
+	}
+}
+
+// Cross-cluster copy instructions consume dispatch slots: a fused core
+// with an adversarial cross-cluster pattern dispatches fewer
+// instructions per cycle than its nominal width.
+func TestClusteredCopySlots(t *testing.T) {
+	// Alternating producers feeding consumers with two cross sources
+	// maximises copies.
+	b := program.NewBuilder("copy")
+	b.Li(isa.R1, 1)
+	b.Li(isa.R2, 2)
+	for i := 0; i < 1000; i++ {
+		b.Add(isa.R3, isa.R1, isa.R2)
+		b.Add(isa.R1, isa.R3, isa.R2)
+		b.Add(isa.R2, isa.R3, isa.R1)
+	}
+	b.Halt()
+	tr := trace.Capture(b.MustBuild(), 0)
+	cfg := testConfig()
+	cfg.Clusters = 2
+	cfg.CrossClusterBypass = 2
+	hier := mem.NewHierarchy(testHier())
+	core := NewCore(cfg, hier, NewTraceStream(tr), nil)
+	cycles := Drain(core, tr.Len())
+	if core.Report().Committed != uint64(tr.Len()) {
+		t.Fatalf("committed %d of %d", core.Report().Committed, tr.Len())
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+// Unpipelined FP divide serialises on the FPU pool exactly like integer
+// divide on the mul/div pool.
+func TestUnpipelinedFPDivide(t *testing.T) {
+	b := program.NewBuilder("fdiv")
+	b.Fli(isa.F1, 100.0)
+	b.Fli(isa.F2, 3.0)
+	const n = 40
+	for i := 0; i < n; i++ {
+		b.Fdiv(isa.Reg(int(isa.F3)+i%4), isa.F1, isa.F2)
+	}
+	b.Halt()
+	tr := trace.Capture(b.MustBuild(), 0)
+	cfg := testConfig() // 2 FPUs
+	cycles, _ := run(t, cfg, tr)
+	// 40 divides of 12 cycles over 2 unpipelined units >= 240 cycles.
+	if cycles < int64(n/2*12) {
+		t.Errorf("%d fdivs in %d cycles; unpipelined FPU pool not modelled", n, cycles)
+	}
+}
+
+// LQ capacity limits memory-level parallelism: shrinking the LQ slows a
+// load-heavy workload.
+func TestLQCapacityMatters(t *testing.T) {
+	b := program.NewBuilder("lq")
+	b.Li(isa.R1, 0x400000)
+	for i := 0; i < 2500; i++ {
+		// Independent loads, striding lines to miss L1.
+		b.Ld(isa.Reg(2+i%8), isa.R1, int64(i%512)*64)
+	}
+	b.Halt()
+	tr := trace.Capture(b.MustBuild(), 0)
+	big := testConfig()
+	small := testConfig()
+	small.LQSize = 4
+	bigCycles, _ := run(t, big, tr)
+	smallCycles, _ := run(t, small, tr)
+	if smallCycles <= bigCycles {
+		t.Errorf("LQ=4 (%d cycles) not slower than LQ=32 (%d)", smallCycles, bigCycles)
+	}
+}
+
+// Commit width bounds IPC.
+func TestCommitWidthBoundsIPC(t *testing.T) {
+	b := program.NewBuilder("cw")
+	for i := 0; i < 3000; i++ {
+		b.Addi(isa.Reg(1+i%12), isa.R0, 1)
+	}
+	b.Halt()
+	tr := trace.Capture(b.MustBuild(), 0)
+	cfg := testConfig()
+	cfg.CommitWidth = 1
+	cycles, rpt := run(t, cfg, tr)
+	ipc := float64(rpt.Committed) / float64(cycles)
+	if ipc > 1.01 {
+		t.Errorf("IPC %.3f exceeds commit width 1", ipc)
+	}
+}
+
+func TestOldestUnfinished(t *testing.T) {
+	b := program.NewBuilder("ou")
+	b.Li(isa.R1, 1000)
+	b.Li(isa.R2, 3)
+	b.Div(isa.R3, isa.R1, isa.R2) // long op
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Halt()
+	tr := trace.Capture(b.MustBuild(), 0)
+	hier := mem.NewHierarchy(testHier())
+	core := NewCore(testConfig(), hier, NewTraceStream(tr), nil)
+	// Early: everything unfinished from seq 0.
+	core.Cycle(0)
+	if g, ok := core.OldestUnfinished(0); !ok && g != 0 {
+		t.Errorf("early frontier = %d/%v", g, ok)
+	}
+	Drain(core, tr.Len())
+	if _, ok := core.OldestUnfinished(1 << 30); ok {
+		t.Error("drained core still reports unfinished work")
+	}
+}
+
+// Random-program integration fuzz: any arithmetic/branch/memory program
+// commits completely on all core shapes.
+func TestRandomProgramsCommit(t *testing.T) {
+	shapes := []Config{testConfig()}
+	narrow := testConfig()
+	narrow.FetchWidth, narrow.FrontWidth, narrow.IssueWidth, narrow.CommitWidth = 1, 1, 1, 1
+	narrow.ROBSize, narrow.IQSize, narrow.LQSize, narrow.SQSize = 8, 4, 3, 3
+	shapes = append(shapes, narrow)
+	clustered := testConfig()
+	clustered.Clusters = 2
+	clustered.CrossClusterBypass = 2
+	shapes = append(shapes, clustered)
+
+	for seed := int64(0); seed < 6; seed++ {
+		tr := randomTrace(seed, 1500)
+		for si, cfg := range shapes {
+			hier := mem.NewHierarchy(testHier())
+			core := NewCore(cfg, hier, NewTraceStream(tr), nil)
+			Drain(core, tr.Len())
+			if got := core.Report().Committed; got != uint64(tr.Len()) {
+				t.Fatalf("seed %d shape %d: committed %d of %d", seed, si, got, tr.Len())
+			}
+		}
+	}
+}
+
+// randomTrace builds a random but valid program and captures it.
+func randomTrace(seed int64, steps int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := program.NewBuilder("fuzz")
+	b.Li(isa.R1, 0x300000)
+	b.Li(isa.R2, int64(steps/10))
+	b.Label("loop")
+	for i := 0; i < 10; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			b.Add(isa.Reg(3+rng.Intn(8)), isa.Reg(3+rng.Intn(8)), isa.Reg(3+rng.Intn(8)))
+		case 1:
+			b.Mul(isa.Reg(3+rng.Intn(8)), isa.Reg(3+rng.Intn(8)), isa.Reg(3+rng.Intn(8)))
+		case 2:
+			b.Ld(isa.Reg(3+rng.Intn(8)), isa.R1, int64(rng.Intn(128))*8)
+		case 3:
+			b.St(isa.Reg(3+rng.Intn(8)), isa.R1, int64(rng.Intn(128))*8)
+		case 4:
+			b.Fadd(isa.Reg(int(isa.F1)+rng.Intn(6)), isa.Reg(int(isa.F1)+rng.Intn(6)),
+				isa.Reg(int(isa.F1)+rng.Intn(6)))
+		case 5:
+			b.Xori(isa.Reg(3+rng.Intn(8)), isa.Reg(3+rng.Intn(8)), int64(rng.Intn(1024)))
+		}
+	}
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "loop")
+	b.Halt()
+	return trace.Capture(b.MustBuild(), 0)
+}
+
+func BenchmarkCoreCycleThroughput(b *testing.B) {
+	pb := program.NewBuilder("bench")
+	pb.Li(isa.R1, 0x100000)
+	pb.Li(isa.R2, 100000)
+	pb.Label("loop")
+	pb.Ld(isa.R3, isa.R1, 0)
+	pb.Add(isa.R4, isa.R3, isa.R4)
+	pb.Addi(isa.R1, isa.R1, 8)
+	pb.Addi(isa.R2, isa.R2, -1)
+	pb.Bne(isa.R2, isa.R0, "loop")
+	pb.Halt()
+	tr := trace.Capture(pb.MustBuild(), 50_000)
+	cfg := testConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hier := mem.NewHierarchy(testHier())
+		core := NewCore(cfg, hier, NewTraceStream(tr), nil)
+		Drain(core, tr.Len())
+	}
+	b.ReportMetric(float64(tr.Len()), "insts/op")
+}

@@ -1,0 +1,72 @@
+package ooo
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// maxCyclesPerInst bounds simulations against livelock bugs: a run that
+// exceeds this many cycles per trace instruction panics rather than
+// spinning forever.
+const maxCyclesPerInst = 2000
+
+// RunTrace simulates tr to completion on a single core built from cfg
+// and hcfg, returning the run summary. This is the baseline
+// configuration of every experiment; the fused and Fg-STP modes live in
+// internal/corefusion and internal/core.
+func RunTrace(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace) stats.Run {
+	hier := mem.NewHierarchy(hcfg)
+	core := NewCore(cfg, hier, NewTraceStream(tr), nil)
+	now := Drain(core, tr.Len())
+	return Summarize(core, tr, "single", now)
+}
+
+// Drain cycles the core until it is done and returns the final cycle
+// count. It panics if the simulation livelocks.
+func Drain(core *Core, traceLen int) int64 {
+	limit := int64(traceLen+1000) * maxCyclesPerInst
+	var now int64
+	for ; !core.Done(); now++ {
+		if now > limit {
+			panic(fmt.Sprintf("core %s: livelock after %d cycles (%d committed of %d)",
+				core.Config().Name, now, core.Report().Committed, traceLen))
+		}
+		core.Cycle(now)
+	}
+	return now
+}
+
+// Summarize converts a finished core's report into a stats.Run.
+func Summarize(core *Core, tr *trace.Trace, mode string, cycles int64) stats.Run {
+	rpt := core.Report()
+	r := stats.Run{
+		Workload: tr.Name,
+		Mode:     mode,
+		Cycles:   uint64(cycles),
+		Insts:    rpt.Committed,
+	}
+	r.Set("branch_mispredicts", float64(rpt.BranchMispredicts))
+	r.Set("indirect_mispredicts", float64(rpt.IndirectMispredicts))
+	r.Set("mem_violations", float64(rpt.MemViolations))
+	r.Set("squashes", float64(rpt.Squashes))
+	r.Set("loads_forwarded", float64(rpt.LoadsForwarded))
+	r.Set("loads_speculative", float64(rpt.LoadsSpeculative))
+	r.Set("l1d_miss_rate", core.Hier().L1D.Stats.MissRate())
+	r.Set("l2_miss_rate", core.Hier().L2.Stats.MissRate())
+	r.Set("fetched_uops", float64(rpt.Fetched))
+	r.Set("issued_uops", float64(rpt.Issued))
+	r.Set("squashed_uops", float64(rpt.Squashed))
+	h := core.Hier()
+	r.Set("l1i_accesses", float64(h.L1I.Stats.Accesses))
+	r.Set("l1d_accesses", float64(h.L1D.Stats.Accesses))
+	r.Set("l2_accesses", float64(h.L2.Stats.Accesses))
+	r.Set("dram_accesses", float64(h.DRAMAccesses))
+	r.Set("active_cores", 1)
+	if p := core.Predictor(); p != nil {
+		r.Set("bpred_accuracy", p.Accuracy())
+	}
+	return r
+}

@@ -1,0 +1,64 @@
+package ooo
+
+// StoreSets is a store-set memory-dependence predictor in the style of
+// Chrysos & Emer (ISCA 1998): loads and stores that have collided are
+// placed in a common *store set* (via the PC-indexed SSIT); a load with
+// a valid set waits only for the most recent store of that set, rather
+// than for all older unresolved stores as the simpler load-wait table
+// does. The Fg-STP machine offers it as an alternative cross-core
+// dependence predictor (config.FgSTP.UseStoreSets, compared in E9).
+type StoreSets struct {
+	mask uint64
+	// ssit maps hashed PCs to set ids; -1 means no set.
+	ssit []int32
+	next int32
+}
+
+// NewStoreSets builds a predictor with a 2^bits-entry SSIT.
+func NewStoreSets(bits int) *StoreSets {
+	if bits < 4 {
+		bits = 4
+	}
+	s := &StoreSets{
+		mask: (1 << bits) - 1,
+		ssit: make([]int32, 1<<bits),
+	}
+	for i := range s.ssit {
+		s.ssit[i] = -1
+	}
+	return s
+}
+
+func (s *StoreSets) index(pc uint64) int {
+	h := (pc >> 2) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h & s.mask)
+}
+
+// SetOf returns the store set of pc, or -1.
+func (s *StoreSets) SetOf(pc uint64) int32 {
+	return s.ssit[s.index(pc)]
+}
+
+// Union records a collision between the load at loadPC and the store at
+// storePC, merging them into a common set per the store-set assignment
+// rules (new set if neither has one; join if one has; keep the smaller
+// id if both do — the declining-id merge of the original design).
+func (s *StoreSets) Union(loadPC, storePC uint64) {
+	li, si := s.index(loadPC), s.index(storePC)
+	ls, ss := s.ssit[li], s.ssit[si]
+	switch {
+	case ls < 0 && ss < 0:
+		s.ssit[li] = s.next
+		s.ssit[si] = s.next
+		s.next++
+	case ls < 0:
+		s.ssit[li] = ss
+	case ss < 0:
+		s.ssit[si] = ls
+	case ls < ss:
+		s.ssit[si] = ls
+	case ss < ls:
+		s.ssit[li] = ss
+	}
+}

@@ -1,0 +1,48 @@
+package ooo
+
+import "testing"
+
+func TestStoreSetsUnion(t *testing.T) {
+	s := NewStoreSets(8)
+	if s.SetOf(0x100) != -1 || s.SetOf(0x200) != -1 {
+		t.Fatal("fresh SSIT must have no sets")
+	}
+	// First collision creates a common set.
+	s.Union(0x100, 0x200)
+	set := s.SetOf(0x100)
+	if set < 0 || s.SetOf(0x200) != set {
+		t.Fatalf("collision did not unify: %d vs %d", s.SetOf(0x100), s.SetOf(0x200))
+	}
+	// A second store joins the load's existing set.
+	s.Union(0x100, 0x300)
+	if s.SetOf(0x300) != set {
+		t.Errorf("second store set %d, want %d", s.SetOf(0x300), set)
+	}
+	// Merging two existing sets keeps the smaller id.
+	s.Union(0x400, 0x500)
+	other := s.SetOf(0x400)
+	s.Union(0x100, 0x400)
+	lo := set
+	if other < lo {
+		lo = other
+	}
+	if s.SetOf(0x100) != lo && s.SetOf(0x400) != lo {
+		t.Errorf("merge did not converge to the smaller id")
+	}
+}
+
+func TestStoreSetsDistinctPCs(t *testing.T) {
+	s := NewStoreSets(10)
+	s.Union(0x1000, 0x2000)
+	if s.SetOf(0x3000) != -1 {
+		t.Error("unrelated PC acquired a set")
+	}
+}
+
+func TestStoreSetsMinimumSize(t *testing.T) {
+	s := NewStoreSets(1) // clamped to 4 bits
+	s.Union(0x10, 0x20)
+	if s.SetOf(0x10) < 0 {
+		t.Error("clamped SSIT unusable")
+	}
+}

@@ -1,0 +1,341 @@
+package program
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses a textual program into a validated Program. The
+// syntax is one instruction or label per line:
+//
+//	; comment (also # and //)
+//	start:
+//	    li   r1, 100
+//	loop:
+//	    ld   r2, 8(r1)
+//	    addi r1, r1, 8
+//	    bne  r2, r0, loop
+//	    fli  f1, 2.5
+//	    halt
+//
+// Registers are r0..r31, f0..f31 and the aliases sp, fp, ra. Memory
+// operands are written off(base). Branch and jump targets are labels.
+func Assemble(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// A line may carry "label: inst".
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("%s:%d: bad label %q", name, lineNo+1, label)
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := asmInst(b, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, lineNo+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// MustAssemble is Assemble but panics on error.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		case c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parseReg(tok string) (isa.Reg, error) {
+	switch tok {
+	case "sp":
+		return isa.SP, nil
+	case "fp":
+		return isa.FP, nil
+	case "ra":
+		return isa.RA, nil
+	}
+	if len(tok) >= 2 && (tok[0] == 'r' || tok[0] == 'f') {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < 32 {
+			if tok[0] == 'r' {
+				return isa.Reg(n), nil
+			}
+			return isa.F0 + isa.Reg(n), nil
+		}
+	}
+	return isa.RegNone, fmt.Errorf("bad register %q", tok)
+}
+
+func parseImm(tok string) (int64, error) {
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+// parseMem parses "off(base)".
+func parseMem(tok string) (isa.Reg, int64, error) {
+	open := strings.Index(tok, "(")
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return isa.RegNone, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	offStr := strings.TrimSpace(tok[:open])
+	off := int64(0)
+	if offStr != "" {
+		v, err := parseImm(offStr)
+		if err != nil {
+			return isa.RegNone, 0, err
+		}
+		off = v
+	}
+	base, err := parseReg(strings.TrimSpace(tok[open+1 : len(tok)-1]))
+	if err != nil {
+		return isa.RegNone, 0, err
+	}
+	return base, off, nil
+}
+
+func asmInst(b *Builder, line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := strings.ToLower(fields[0])
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var args []string
+	if len(fields) > 1 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case Nop:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Nop()
+	case Halt:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Halt()
+	case Ret:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Ret()
+
+	case Add, Sub, And, Or, Xor, Shl, Shr, Sar, Slt, Mul, Div, Rem,
+		Fadd, Fsub, Fmul, Fdiv, Fmax, Fmin, Flt:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rt, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		b.emit(Inst{Op: op, Rd: rd, Rs: rs, Rt: rt})
+
+	case Addi, Andi, Ori, Xori, Shli, Shri, Slti:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		b.emit(Inst{Op: op, Rd: rd, Rs: rs, Imm: imm})
+
+	case Li:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		b.Li(rd, imm)
+
+	case Fli:
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad float immediate %q", args[1])
+		}
+		b.Fli(fd, v)
+
+	case Fsqrt, Fneg, Fabs, Cvtif, Cvtfi:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Inst{Op: op, Rd: rd, Rs: rs, Rt: none})
+
+	case Ld, Fld:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Inst{Op: op, Rd: rd, Rs: base, Imm: off})
+
+	case St, Fst:
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Inst{Op: op, Rd: none, Rs: base, Rt: rt, Imm: off})
+
+	case Beq, Bne, Blt, Bge:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if !isIdent(args[2]) {
+			return fmt.Errorf("bad branch target %q", args[2])
+		}
+		b.emitLabelled(Inst{Op: op, Rd: none, Rs: rs, Rt: rt}, args[2])
+
+	case J, Call:
+		if err := need(1); err != nil {
+			return err
+		}
+		if !isIdent(args[0]) {
+			return fmt.Errorf("bad jump target %q", args[0])
+		}
+		rd := none
+		if op == Call {
+			rd = isa.RA
+		}
+		b.emitLabelled(Inst{Op: op, Rd: rd, Rs: none, Rt: none}, args[0])
+
+	case Jr:
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Jr(rs)
+
+	default:
+		return fmt.Errorf("unhandled mnemonic %q", mnemonic)
+	}
+	return nil
+}

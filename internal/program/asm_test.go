@@ -1,0 +1,187 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := `
+	; kernel
+	start:
+		li   r1, 100
+		li   r2, 0x10
+		fli  f1, 1.5
+	loop:
+		ld   r3, 8(r1)
+		st   r3, 0(r2)
+		fld  f2, 16(r1)
+		fst  f2, -8(sp)
+		add  r4, r3, r2
+		addi r1, r1, 8
+		bne  r1, r0, loop
+		call sub
+		j    end
+	sub:
+		fadd f3, f1, f2
+		ret
+	end:
+		halt`
+	p, err := Assemble("rt", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if p.Labels["start"] != 0 {
+		t.Errorf("label start at %d, want 0", p.Labels["start"])
+	}
+	if p.Labels["loop"] != 3 {
+		t.Errorf("label loop at %d, want 3", p.Labels["loop"])
+	}
+	dis := p.Disassemble()
+	for _, want := range []string{"li r1, 100", "ld r3, 8(r1)", "st r3, 0(r2)",
+		"bne r1, r0", "loop:", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []struct {
+		name, src string
+	}{
+		{"unknown mnemonic", "frob r1, r2, r3\nhalt"},
+		{"bad register", "add r1, r2, r99\nhalt"},
+		{"undefined label", "j nowhere\nhalt"},
+		{"duplicate label", "a:\na:\nhalt"},
+		{"wrong arity", "add r1, r2\nhalt"},
+		{"bad immediate", "li r1, xyz\nhalt"},
+		{"bad memory operand", "ld r1, r2\nhalt"},
+		{"no halt", "add r1, r2, r3"},
+		{"bad float", "fli f1, abc\nhalt"},
+		{"bad label chars", "9bad:\nhalt"},
+	}
+	for _, c := range bad {
+		if _, err := Assemble(c.name, c.src); err == nil {
+			t.Errorf("%s: expected error, got none", c.name)
+		}
+	}
+}
+
+func TestAssembleCommentsAndAliases(t *testing.T) {
+	src := `
+		li sp, 1000   # hash comment
+		li fp, 2000   // slash comment
+		addi ra, sp, 4 ; semicolon comment
+		halt`
+	p, err := Assemble("c", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if p.Code[0].Rd != isa.SP || p.Code[1].Rd != isa.FP || p.Code[2].Rd != isa.RA {
+		t.Errorf("register aliases not parsed: %v %v %v",
+			p.Code[0].Rd, p.Code[1].Rd, p.Code[2].Rd)
+	}
+}
+
+func TestAssembleEquivalentToBuilder(t *testing.T) {
+	src := `
+		li r1, 7
+		li r2, 3
+		mul r3, r1, r2
+		halt`
+	pa := MustAssemble("a", src)
+
+	b := NewBuilder("b")
+	b.Li(isa.R1, 7)
+	b.Li(isa.R2, 3)
+	b.Mul(isa.R3, isa.R1, isa.R2)
+	b.Halt()
+	pb := b.MustBuild()
+
+	if len(pa.Code) != len(pb.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(pa.Code), len(pb.Code))
+	}
+	for i := range pa.Code {
+		if pa.Code[i] != pb.Code[i] {
+			t.Errorf("inst %d differs: %v vs %v", i, pa.Code[i], pb.Code[i])
+		}
+	}
+	ea, eb := NewExecutor(pa), NewExecutor(pb)
+	ea.Run(0, nil)
+	eb.Run(0, nil)
+	if ea.Reg(isa.R3) != 21 || eb.Reg(isa.R3) != 21 {
+		t.Errorf("results differ or wrong: %d vs %d", ea.Reg(isa.R3), eb.Reg(isa.R3))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label must fail")
+	}
+
+	b = NewBuilder("undef")
+	b.J("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined label must fail")
+	}
+
+	b = NewBuilder("empty")
+	if _, err := b.Build(); err == nil {
+		t.Error("empty program must fail")
+	}
+}
+
+func TestValidateTargets(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{
+		{Op: J, Imm: 99},
+		{Op: Halt},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range target must fail validation")
+	}
+}
+
+func TestProgramStats(t *testing.T) {
+	src := `
+		li r1, 1
+		ld r2, 0(r1)
+		st r2, 8(r1)
+		beq r1, r0, end
+		fadd f1, f2, f3
+	end:
+		halt`
+	p := MustAssemble("s", src)
+	s := p.Stats()
+	if s.Insts != 6 {
+		t.Errorf("insts = %d, want 6", s.Insts)
+	}
+	if s.Loads != 1 || s.Stores != 1 || s.Branches != 1 {
+		t.Errorf("loads/stores/branches = %d/%d/%d, want 1/1/1",
+			s.Loads, s.Stores, s.Branches)
+	}
+	if s.ByClass[isa.ClassFPAlu] != 1 {
+		t.Errorf("fp alu count = %d, want 1", s.ByClass[isa.ClassFPAlu])
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if got := Index(PC(i)); got != i {
+			t.Fatalf("Index(PC(%d)) = %d", i, got)
+		}
+	}
+	if Index(CodeBase-4) != -1 {
+		t.Error("below code base must be -1")
+	}
+	if Index(CodeBase+2) != -1 {
+		t.Error("misaligned must be -1")
+	}
+}

@@ -1,0 +1,266 @@
+// Package simpoint implements SimPoint-style sampled simulation
+// (Sherwood et al., ASPLOS 2002), the methodology substrate HPCA-era
+// evaluations rely on to make full-benchmark timing studies tractable:
+// slice a long trace into fixed-size intervals, fingerprint each with a
+// basic-block-vector (here: a random-projected execution-frequency
+// signature), cluster the fingerprints with k-means, and simulate one
+// representative interval per cluster, weighting results by cluster
+// population.
+//
+// All computation is deterministic (fixed projection hash, seeded
+// k-means), so sampled results are reproducible.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Dims is the dimensionality of the projected execution signature. The
+// original SimPoint projects basic-block vectors to ~15 dimensions; we
+// use a few more since the projection hash is cheap.
+const Dims = 32
+
+// Vector is one interval's normalised execution signature.
+type Vector [Dims]float64
+
+// Signatures slices tr into intervals of intervalInsts and returns one
+// normalised signature per interval. PCs are random-projected into
+// Dims buckets; the value of a bucket is the fraction of the
+// interval's instructions whose PC hashes there. The final partial
+// interval is included (its weight reflects its true size).
+func Signatures(tr *trace.Trace, intervalInsts int) ([]Vector, error) {
+	if intervalInsts < 1 {
+		return nil, fmt.Errorf("simpoint: interval %d < 1", intervalInsts)
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("simpoint: empty trace")
+	}
+	n := (tr.Len() + intervalInsts - 1) / intervalInsts
+	out := make([]Vector, n)
+	for i := 0; i < tr.Len(); i++ {
+		out[i/intervalInsts][project(tr.At(i).PC)]++
+	}
+	for k := range out {
+		total := 0.0
+		for _, v := range out[k] {
+			total += v
+		}
+		if total > 0 {
+			for d := range out[k] {
+				out[k][d] /= total
+			}
+		}
+	}
+	return out, nil
+}
+
+// project hashes a PC into a signature dimension (a fixed random
+// projection).
+func project(pc uint64) int {
+	h := pc >> 2
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % Dims)
+}
+
+func dist2(a, b *Vector) float64 {
+	s := 0.0
+	for d := 0; d < Dims; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// KMeans clusters the vectors into at most k clusters using k-means
+// with deterministic farthest-point initialisation. It returns the
+// per-vector cluster assignment and the centroids. k is clamped to the
+// number of vectors.
+func KMeans(vectors []Vector, k, iterations int) ([]int, []Vector, error) {
+	if len(vectors) == 0 {
+		return nil, nil, fmt.Errorf("simpoint: no vectors")
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("simpoint: k %d < 1", k)
+	}
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	// Farthest-point initialisation from vector 0 (deterministic).
+	centroids := make([]Vector, 0, k)
+	centroids = append(centroids, vectors[0])
+	for len(centroids) < k {
+		best, bestD := 0, -1.0
+		for i := range vectors {
+			nearest := math.MaxFloat64
+			for c := range centroids {
+				if d := dist2(&vectors[i], &centroids[c]); d < nearest {
+					nearest = d
+				}
+			}
+			if nearest > bestD {
+				bestD = nearest
+				best = i
+			}
+		}
+		centroids = append(centroids, vectors[best])
+	}
+
+	assign := make([]int, len(vectors))
+	for it := 0; it < iterations; it++ {
+		changed := false
+		for i := range vectors {
+			best, bestD := 0, math.MaxFloat64
+			for c := range centroids {
+				if d := dist2(&vectors[i], &centroids[c]); d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		var sums = make([]Vector, len(centroids))
+		counts := make([]int, len(centroids))
+		for i := range vectors {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < Dims; d++ {
+				sums[c][d] += vectors[i][d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < Dims; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids, nil
+}
+
+// Representative is one chosen simulation point.
+type Representative struct {
+	// Interval is the index of the chosen interval.
+	Interval int
+	// Start is its first instruction in the full trace.
+	Start int
+	// Weight is the fraction of all intervals its cluster covers.
+	Weight float64
+}
+
+// Choose runs the full pipeline: signatures → k-means → one
+// representative per non-empty cluster (the interval nearest its
+// centroid), weighted by cluster population.
+func Choose(tr *trace.Trace, intervalInsts, k int) ([]Representative, error) {
+	vecs, err := Signatures(tr, intervalInsts)
+	if err != nil {
+		return nil, err
+	}
+	assign, centroids, err := KMeans(vecs, k, 50)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(centroids))
+	nearest := make([]int, len(centroids))
+	nearestD := make([]float64, len(centroids))
+	for c := range nearest {
+		nearest[c] = -1
+		nearestD[c] = math.MaxFloat64
+	}
+	for i := range vecs {
+		c := assign[i]
+		counts[c]++
+		if d := dist2(&vecs[i], &centroids[c]); d < nearestD[c] {
+			nearestD[c] = d
+			nearest[c] = i
+		}
+	}
+	var reps []Representative
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		reps = append(reps, Representative{
+			Interval: nearest[c],
+			Start:    nearest[c] * intervalInsts,
+			Weight:   float64(counts[c]) / float64(len(vecs)),
+		})
+	}
+	return reps, nil
+}
+
+// WeightedCPI combines per-representative cycle counts into an estimate
+// of the full trace's cycles-per-instruction: each representative's CPI
+// is weighted by its cluster's share of intervals.
+func WeightedCPI(reps []Representative, cycles []uint64, insts []uint64) (float64, error) {
+	if len(reps) != len(cycles) || len(reps) != len(insts) {
+		return 0, fmt.Errorf("simpoint: %d reps, %d cycles, %d insts",
+			len(reps), len(cycles), len(insts))
+	}
+	cpi := 0.0
+	for i, r := range reps {
+		if insts[i] == 0 {
+			return 0, fmt.Errorf("simpoint: representative %d has no instructions", i)
+		}
+		cpi += r.Weight * float64(cycles[i]) / float64(insts[i])
+	}
+	return cpi, nil
+}
+
+// SimulateFn runs the timing model over trace instructions [start, end)
+// and returns (cycles, instructions committed).
+type SimulateFn func(start, end int) (uint64, uint64, error)
+
+// EstimateCPI estimates the full trace's CPI from the representatives
+// with cold-start correction: each point is simulated twice, once over
+// [start-warmup, end) and once over [start-warmup, start), and the
+// interval's cost is the difference — the warmup run absorbs the
+// cold-cache and cold-predictor bias that otherwise inflates short
+// samples. warmup 0 degenerates to plain sampling.
+func EstimateCPI(reps []Representative, intervalInsts, warmup, traceLen int, sim SimulateFn) (float64, error) {
+	if sim == nil {
+		return 0, fmt.Errorf("simpoint: nil simulate function")
+	}
+	cpi := 0.0
+	for _, r := range reps {
+		begin := r.Start - warmup
+		if begin < 0 {
+			begin = 0
+		}
+		end := r.Start + intervalInsts
+		if end > traceLen {
+			end = traceLen
+		}
+		if end <= r.Start {
+			return 0, fmt.Errorf("simpoint: empty representative at %d", r.Start)
+		}
+		extCycles, _, err := sim(begin, end)
+		if err != nil {
+			return 0, err
+		}
+		var warmCycles uint64
+		if begin < r.Start {
+			warmCycles, _, err = sim(begin, r.Start)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if extCycles < warmCycles {
+			warmCycles = extCycles
+		}
+		cpi += r.Weight * float64(extCycles-warmCycles) / float64(end-r.Start)
+	}
+	return cpi, nil
+}

@@ -1,0 +1,256 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// twoPhaseTrace builds a program with two clearly distinct phases:
+// a load-heavy loop followed by an arithmetic-heavy loop.
+func twoPhaseTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := program.NewBuilder("phases")
+	b.Li(isa.R1, 0x100000)
+	b.Li(isa.R2, 1200)
+	b.Label("main")
+	b.Label("p1")
+	b.Ld(isa.R3, isa.R1, 0)
+	b.Ld(isa.R4, isa.R1, 8)
+	b.Add(isa.R5, isa.R3, isa.R4)
+	b.Addi(isa.R1, isa.R1, 16)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "p1")
+	b.Li(isa.R2, 1200)
+	b.Label("p2")
+	b.Mul(isa.R6, isa.R6, isa.R6)
+	b.Xori(isa.R6, isa.R6, 0x5a5a)
+	b.Addi(isa.R7, isa.R7, 3)
+	b.Shri(isa.R8, isa.R6, 7)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "p2")
+	b.Halt()
+	return trace.CaptureFromLabel(b.MustBuild(), "main", 0)
+}
+
+func TestSignatures(t *testing.T) {
+	tr := twoPhaseTrace(t)
+	vecs, err := Signatures(tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (tr.Len() + 999) / 1000
+	if len(vecs) != want {
+		t.Fatalf("vectors = %d, want %d", len(vecs), want)
+	}
+	// Each signature is normalised.
+	for i, v := range vecs {
+		sum := 0.0
+		for _, x := range v {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("vector %d sums to %v", i, sum)
+		}
+	}
+	// Signatures from the two phases must differ far more than
+	// signatures within one phase.
+	first, last := vecs[0], vecs[len(vecs)-2]
+	within := dist2(&vecs[0], &vecs[1])
+	across := dist2(&first, &last)
+	if across < 10*within+1e-9 {
+		t.Errorf("phases not separable: within %v, across %v", within, across)
+	}
+}
+
+func TestSignaturesErrors(t *testing.T) {
+	if _, err := Signatures(&trace.Trace{}, 100); err == nil {
+		t.Error("empty trace accepted")
+	}
+	tr := twoPhaseTrace(t)
+	if _, err := Signatures(tr, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestKMeansSeparatesPhases(t *testing.T) {
+	tr := twoPhaseTrace(t)
+	vecs, _ := Signatures(tr, 1000)
+	assign, centroids, err := KMeans(vecs, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 2 {
+		t.Fatalf("centroids = %d", len(centroids))
+	}
+	// The first and the second-to-last interval must land in different
+	// clusters (phase boundary is mid-trace).
+	if assign[0] == assign[len(assign)-2] {
+		t.Error("k-means merged the two phases")
+	}
+	// Clustering is deterministic.
+	assign2, _, _ := KMeans(vecs, 2, 50)
+	for i := range assign {
+		if assign[i] != assign2[i] {
+			t.Fatal("k-means nondeterministic")
+		}
+	}
+}
+
+func TestKMeansEdges(t *testing.T) {
+	if _, _, err := KMeans(nil, 2, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	vecs := []Vector{{1}, {0, 1}}
+	if _, _, err := KMeans(vecs, 0, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k larger than input is clamped.
+	assign, centroids, err := KMeans(vecs, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 2 || len(assign) != 2 {
+		t.Errorf("clamp failed: %d centroids", len(centroids))
+	}
+}
+
+func TestChooseWeightsSumToOne(t *testing.T) {
+	tr := twoPhaseTrace(t)
+	reps, err := Choose(tr, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("no representatives")
+	}
+	sum := 0.0
+	for _, r := range reps {
+		sum += r.Weight
+		if r.Start != r.Interval*1000 {
+			t.Errorf("rep start %d != interval %d * 1000", r.Start, r.Interval)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+// End-to-end: sampled CPI of a real workload approximates full-trace
+// CPI within a reasonable error bound.
+func TestSampledCPIApproximatesFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled-vs-full comparison in -short mode")
+	}
+	w, _ := workloads.ByName("bzip2")
+	tr := w.Trace(60_000)
+	m := config.Medium()
+
+	full, err := cmp.Run(m, cmp.ModeSingle, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCPI := float64(full.Cycles) / float64(full.Insts)
+
+	const interval = 5_000
+	reps, err := Choose(tr, interval, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := make([]uint64, len(reps))
+	insts := make([]uint64, len(reps))
+	for i, r := range reps {
+		end := r.Start + interval
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		sub := tr.Slice(r.Start, end)
+		run, err := cmp.Run(m, cmp.ModeSingle, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = run.Cycles
+		insts[i] = run.Insts
+	}
+	sampled, err := WeightedCPI(reps, cycles, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(sampled-fullCPI) / fullCPI
+	t.Logf("full CPI %.3f, sampled CPI %.3f (%.1f%% error, %d of %d intervals simulated)",
+		fullCPI, sampled, relErr*100, len(reps), (tr.Len()+interval-1)/interval)
+	if relErr > 0.25 {
+		t.Errorf("sampled CPI off by %.1f%%", relErr*100)
+	}
+}
+
+func TestWeightedCPIErrors(t *testing.T) {
+	reps := []Representative{{Weight: 1}}
+	if _, err := WeightedCPI(reps, []uint64{10}, []uint64{0}); err == nil {
+		t.Error("zero insts accepted")
+	}
+	if _, err := WeightedCPI(reps, nil, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+// Warmup correction must improve (or at least not worsen) sampling
+// accuracy on a cache-resident workload.
+func TestEstimateCPIWarmupHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warmup comparison in -short mode")
+	}
+	w, _ := workloads.ByName("gcc")
+	tr := w.Trace(50_000)
+	m := config.Medium()
+	full, err := cmp.Run(m, cmp.ModeSingle, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCPI := float64(full.Cycles) / float64(full.Insts)
+
+	const interval = 5_000
+	reps, err := Choose(tr, interval, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := func(start, end int) (uint64, uint64, error) {
+		run, err := cmp.Run(m, cmp.ModeSingle, tr.Slice(start, end))
+		if err != nil {
+			return 0, 0, err
+		}
+		return run.Cycles, run.Insts, nil
+	}
+	cold, err := EstimateCPI(reps, interval, 0, tr.Len(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := EstimateCPI(reps, interval, 10_000, tr.Len(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCold := math.Abs(cold-fullCPI) / fullCPI
+	errWarm := math.Abs(warm-fullCPI) / fullCPI
+	t.Logf("full %.3f, cold-sampled %.3f (%.0f%%), warm-sampled %.3f (%.0f%%)",
+		fullCPI, cold, errCold*100, warm, errWarm*100)
+	if errWarm > errCold+0.02 {
+		t.Errorf("warmup worsened sampling: %.1f%% vs %.1f%%", errWarm*100, errCold*100)
+	}
+}
+
+func TestEstimateCPIErrors(t *testing.T) {
+	if _, err := EstimateCPI(nil, 100, 0, 1000, nil); err == nil {
+		t.Error("nil sim accepted")
+	}
+	reps := []Representative{{Start: 2000}}
+	sim := func(start, end int) (uint64, uint64, error) { return 10, 10, nil }
+	if _, err := EstimateCPI(reps, 100, 0, 1000, sim); err == nil {
+		t.Error("representative beyond trace accepted")
+	}
+}

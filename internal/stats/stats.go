@@ -1,0 +1,240 @@
+// Package stats provides the measurement plumbing shared by the timing
+// models and the experiment harness: per-run summaries, derived
+// metrics, geometric means, power-of-two histograms and plain-text
+// table rendering for the figure/table regeneration tools.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Run is the summary of one simulation: a workload executed on a
+// machine mode. Cycles and Insts define performance; Extra carries
+// model-specific counters (misses, squashes, communication traffic…)
+// keyed by short snake_case names.
+type Run struct {
+	Workload string
+	Mode     string
+	Cycles   uint64
+	// Insts is the number of committed program instructions. Replicas
+	// created by Fg-STP do not count: IPC stays comparable across
+	// modes.
+	Insts uint64
+	Extra map[string]float64
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Set records an extra counter, allocating the map on first use.
+func (r *Run) Set(key string, v float64) {
+	if r.Extra == nil {
+		r.Extra = make(map[string]float64)
+	}
+	r.Extra[key] = v
+}
+
+// Get returns an extra counter (zero when absent).
+func (r *Run) Get(key string) float64 { return r.Extra[key] }
+
+// Speedup returns how much faster other is than base on the same
+// workload: base.Cycles / other.Cycles.
+func Speedup(base, other *Run) float64 {
+	if other.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(other.Cycles)
+}
+
+// Geomean returns the geometric mean of vals, ignoring non-positive
+// entries (which would otherwise poison the log). It returns 0 for an
+// empty or all-invalid input.
+func Geomean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Hist is a power-of-two bucketed histogram for latency/distance style
+// measurements.
+type Hist struct {
+	buckets [32]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Hist) Add(v uint64) {
+	b := 0
+	for x := v; x > 1 && b < 31; x >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample seen.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Bucket returns the count in power-of-two bucket b (samples v with
+// floor(log2 v) == b, where v in {0,1} land in bucket 0).
+func (h *Hist) Bucket(b int) uint64 {
+	if b < 0 || b >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[b]
+}
+
+// String renders the non-empty buckets compactly.
+func (h *Hist) String() string {
+	s := ""
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("[2^%d]=%d", b, c)
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}
+
+// Table accumulates rows and renders an aligned plain-text table — the
+// output format of every regenerated figure and table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		cells = cells[:len(t.headers)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v for strings and %.3f for floats.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// SortRows sorts rows by the first column (stable lexicographic).
+func (t *Table) SortRows() {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return t.rows[i][0] < t.rows[j][0]
+	})
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += t.Title + "\n"
+	}
+	line := ""
+	for i, h := range t.headers {
+		line += pad(h, widths[i])
+		if i < len(t.headers)-1 {
+			line += "  "
+		}
+	}
+	out += line + "\n"
+	rule := ""
+	for i := range t.headers {
+		for k := 0; k < widths[i]; k++ {
+			rule += "-"
+		}
+		if i < len(t.headers)-1 {
+			rule += "  "
+		}
+	}
+	out += rule + "\n"
+	for _, row := range t.rows {
+		line = ""
+		for i := range t.headers {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			line += pad(c, widths[i])
+			if i < len(t.headers)-1 {
+				line += "  "
+			}
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

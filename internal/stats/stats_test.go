@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunIPC(t *testing.T) {
+	r := Run{Cycles: 100, Insts: 250}
+	if got := r.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	empty := Run{}
+	if empty.IPC() != 0 {
+		t.Error("IPC with zero cycles must be 0")
+	}
+}
+
+func TestRunExtra(t *testing.T) {
+	var r Run
+	if r.Get("missing") != 0 {
+		t.Error("missing extra must be 0")
+	}
+	r.Set("squashes", 42)
+	if r.Get("squashes") != 42 {
+		t.Error("extra not stored")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Run{Cycles: 1000}
+	fast := &Run{Cycles: 800}
+	if got := Speedup(base, fast); got != 1.25 {
+		t.Errorf("speedup = %v, want 1.25", got)
+	}
+	if Speedup(base, &Run{}) != 0 {
+		t.Error("speedup vs zero cycles must be 0")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v, want 4", got)
+	}
+	if got := Geomean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("geomean(1,1,1) = %v, want 1", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("geomean of empty must be 0")
+	}
+	// Non-positive entries are skipped, not poisoning.
+	if got := Geomean([]float64{0, -3, 4}); got != 4 {
+		t.Errorf("geomean with invalids = %v, want 4", got)
+	}
+}
+
+// Property: geomean lies between min and max of positive inputs.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		vals := []float64{float64(a)/100 + 0.01, float64(b)/100 + 0.01, float64(c)/100 + 0.01}
+		g := Geomean(vals)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty hist must report zero")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 4, 8, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Errorf("max = %d, want 100", h.Max())
+	}
+	if h.Bucket(0) != 2 { // 0 and 1
+		t.Errorf("bucket 0 = %d, want 2", h.Bucket(0))
+	}
+	if h.Bucket(1) != 2 { // 2 and 3
+		t.Errorf("bucket 1 = %d, want 2", h.Bucket(1))
+	}
+	if h.Bucket(6) != 1 { // 100
+		t.Errorf("bucket 6 = %d, want 1", h.Bucket(6))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Error("out-of-range buckets must read 0")
+	}
+	if !strings.Contains(h.String(), "[2^0]=2") {
+		t.Errorf("String missing bucket: %s", h.String())
+	}
+	if (&Hist{}).String() != "(empty)" {
+		t.Error("empty hist String")
+	}
+}
+
+func TestHistMean(t *testing.T) {
+	var h Hist
+	h.Add(10)
+	h.Add(20)
+	if got := h.Mean(); got != 15 {
+		t.Errorf("mean = %v, want 15", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "bench", "ipc", "speedup")
+	tb.AddRowf("mcf", 0.5, 1.25)
+	tb.AddRowf("bzip2", 1.25, 1.1)
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "speedup") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "0.500") || !strings.Contains(out, "1.250") {
+		t.Errorf("missing formatted floats:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// All data lines must be equally wide (alignment).
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header and rule widths differ: %d vs %d", len(lines[1]), len(lines[2]))
+	}
+}
+
+func TestTableSortAndOverflow(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.AddRow("zeta", "1", "extra-dropped")
+	tb.AddRow("alpha")
+	tb.SortRows()
+	out := tb.String()
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Error("rows not sorted")
+	}
+	if strings.Contains(out, "extra-dropped") {
+		t.Error("overflow cell must be dropped")
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+)
+
+// Binary trace format: a gzip stream containing a fixed header, the
+// workload name, and one fixed-width record per instruction. The
+// format is versioned and self-describing enough to reject foreign
+// files; it exists so expensive captures can be snapshotted and
+// replayed (fgstpsim -savetrace / -loadtrace).
+
+// traceMagic identifies the file format; traceVersion its revision.
+const (
+	traceMagic   = 0x46675354 // "FgST"
+	traceVersion = 1
+)
+
+// instRecord is the on-disk shape of one isa.DynInst. Seq is implicit
+// (records are dense in program order).
+type instRecord struct {
+	PC     uint64
+	Addr   uint64
+	Target uint64
+	NextPC uint64
+	Class  uint8
+	Dst    uint8
+	Src1   uint8
+	Src2   uint8
+	Src3   uint8
+	Flags  uint8 // bit0 taken, bit1 indirect, bit2 call, bit3 ret
+	_      uint16
+}
+
+func packFlags(d *isa.DynInst) uint8 {
+	var f uint8
+	if d.Taken {
+		f |= 1
+	}
+	if d.Indirect {
+		f |= 2
+	}
+	if d.IsCall {
+		f |= 4
+	}
+	if d.IsRet {
+		f |= 8
+	}
+	return f
+}
+
+// Save writes the trace to w in the binary format.
+func (t *Trace) Save(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	bw := bufio.NewWriter(zw)
+
+	hdr := []interface{}{
+		uint32(traceMagic), uint32(traceVersion),
+		uint32(len(t.Name)), uint64(len(t.Insts)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	for i := range t.Insts {
+		d := &t.Insts[i]
+		rec := instRecord{
+			PC: d.PC, Addr: d.Addr, Target: d.Target, NextPC: d.NextPC,
+			Class: uint8(d.Class), Dst: uint8(d.Dst),
+			Src1: uint8(d.Src1), Src2: uint8(d.Src2), Src3: uint8(d.Src3),
+			Flags: packFlags(d),
+		}
+		if err := binary.Write(bw, binary.LittleEndian, &rec); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Load reads a trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: not a trace file: %w", err)
+	}
+	defer zr.Close()
+	br := bufio.NewReader(zr)
+
+	var magic, version, nameLen uint32
+	var count uint64
+	for _, v := range []interface{}{&magic, &version, &nameLen, &count} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("trace: short header: %w", err)
+		}
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+	}
+
+	t := &Trace{Name: string(name), Insts: make([]isa.DynInst, count)}
+	var rec instRecord
+	for i := uint64(0); i < count; i++ {
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		t.Insts[i] = isa.DynInst{
+			Seq: i, PC: rec.PC, Addr: rec.Addr, Target: rec.Target,
+			NextPC: rec.NextPC, Class: isa.Class(rec.Class),
+			Dst: isa.Reg(rec.Dst), Src1: isa.Reg(rec.Src1),
+			Src2: isa.Reg(rec.Src2), Src3: isa.Reg(rec.Src3),
+			Taken: rec.Flags&1 != 0, Indirect: rec.Flags&2 != 0,
+			IsCall: rec.Flags&4 != 0, IsRet: rec.Flags&8 != 0,
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveFile writes the trace to path.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

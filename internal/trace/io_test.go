@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := Capture(sampleProgram(), 0)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Name != orig.Name {
+		t.Errorf("name %q != %q", back.Name, orig.Name)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("length %d != %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Insts {
+		if orig.Insts[i] != back.Insts[i] {
+			t.Fatalf("record %d differs:\n  %+v\n  %+v", i, orig.Insts[i], back.Insts[i])
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("loaded trace invalid: %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	orig := Capture(sampleProgram(), 20)
+	path := filepath.Join(t.TempDir(), "x.trace")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if back.Len() != 20 {
+		t.Errorf("loaded %d records", back.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid gzip of wrong content.
+	var buf bytes.Buffer
+	orig := Capture(sampleProgram(), 5)
+	orig.Save(&buf)
+	data := buf.Bytes()
+	// Truncate mid-stream.
+	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path/x.trace"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

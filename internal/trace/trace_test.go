@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func sampleProgram() *program.Program {
+	return program.MustAssemble("sample", `
+		li r1, 0x100000
+		li r2, 10
+	loop:
+		ld r3, 0(r1)
+		add r3, r3, r2
+		st r3, 0(r1)
+		addi r1, r1, 8
+		addi r2, r2, -1
+		bne r2, r0, loop
+		halt`)
+}
+
+func TestCapture(t *testing.T) {
+	tr := Capture(sampleProgram(), 0)
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 2 setup + 10 iterations of 6 instructions.
+	if want := 2 + 10*6; tr.Len() != want {
+		t.Errorf("trace length %d, want %d", tr.Len(), want)
+	}
+}
+
+func TestCaptureCap(t *testing.T) {
+	tr := Capture(sampleProgram(), 7)
+	if tr.Len() != 7 {
+		t.Errorf("capped trace length %d, want 7", tr.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := Capture(sampleProgram(), 0)
+	s := tr.ComputeStats()
+	if s.Loads != 10 || s.Stores != 10 {
+		t.Errorf("loads/stores = %d/%d, want 10/10", s.Loads, s.Stores)
+	}
+	if s.Branches != 10 || s.Taken != 9 {
+		t.Errorf("branches/taken = %d/%d, want 10/9", s.Branches, s.Taken)
+	}
+	if s.UniqueWords != 10 {
+		t.Errorf("unique words = %d, want 10", s.UniqueWords)
+	}
+	if s.StaticPCs != 8 {
+		t.Errorf("static pcs = %d, want 8", s.StaticPCs)
+	}
+	if got := s.TakenRatio(); got != 0.9 {
+		t.Errorf("taken ratio = %v, want 0.9", got)
+	}
+	if s.TotalDeps == 0 || s.ShortDeps == 0 {
+		t.Error("dependence stats not collected")
+	}
+	if s.ByClass[isa.ClassIntAlu] == 0 {
+		t.Error("class mix not collected")
+	}
+}
+
+func TestStatsRatiosEmptyTrace(t *testing.T) {
+	var s Stats
+	if s.TakenRatio() != 0 || s.BranchRatio() != 0 || s.MemRatio() != 0 ||
+		s.ShortDepRatio() != 0 {
+		t.Error("ratios on empty stats must be zero")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := Capture(sampleProgram(), 0)
+	tr.Insts[3].Seq = 99
+	if err := tr.Validate(); err == nil {
+		t.Error("corrupted seq must fail validation")
+	}
+	tr = Capture(sampleProgram(), 0)
+	tr.Insts[0].NextPC = 0xdead
+	if err := tr.Validate(); err == nil {
+		t.Error("broken nextpc chain must fail validation")
+	}
+}
+
+func TestDepDistanceBuckets(t *testing.T) {
+	// Chain of dependent adds: every dependence has distance 1 → bucket 0.
+	b := program.NewBuilder("chain")
+	b.Li(isa.R1, 1)
+	for i := 0; i < 20; i++ {
+		b.Add(isa.R1, isa.R1, isa.R1)
+	}
+	b.Halt()
+	tr := Capture(b.MustBuild(), 0)
+	s := tr.ComputeStats()
+	if s.DepDists[0] < 20 {
+		t.Errorf("bucket 0 = %d, want >= 20", s.DepDists[0])
+	}
+	if s.ShortDepRatio() != 1.0 {
+		t.Errorf("short dep ratio = %v, want 1", s.ShortDepRatio())
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 14, 14}, {1 << 40, 15}}
+	for _, c := range cases {
+		if got := log2Bucket(c.v); got != c.want {
+			t.Errorf("log2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := Capture(sampleProgram(), 0)
+	sub := tr.Slice(5, 15)
+	if sub.Len() != 10 {
+		t.Fatalf("slice length %d", sub.Len())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("slice invalid: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		want := tr.At(5 + i)
+		got := sub.At(i)
+		if got.PC != want.PC || got.Addr != want.Addr || got.Seq != uint64(i) {
+			t.Fatalf("slice record %d mismatch", i)
+		}
+	}
+	// Bounds clamping.
+	if tr.Slice(-3, 4).Len() != 4 {
+		t.Error("negative start not clamped")
+	}
+	if tr.Slice(0, 1<<30).Len() != tr.Len() {
+		t.Error("oversized end not clamped")
+	}
+	if tr.Slice(10, 10).Len() != 0 || tr.Slice(20, 10).Len() != 0 {
+		t.Error("degenerate ranges not empty")
+	}
+	// Slicing must not mutate the original.
+	if err := tr.Validate(); err != nil {
+		t.Errorf("original corrupted by Slice: %v", err)
+	}
+}
+
+func TestCaptureRegionSkip(t *testing.T) {
+	full := Capture(sampleProgram(), 0)
+	skipped := CaptureRegion(sampleProgram(), 10, 0)
+	if skipped.Len() != full.Len()-10 {
+		t.Fatalf("skip=10 yielded %d, want %d", skipped.Len(), full.Len()-10)
+	}
+	if err := skipped.Validate(); err != nil {
+		t.Fatalf("skipped trace invalid: %v", err)
+	}
+	if skipped.At(0).PC != full.At(10).PC {
+		t.Error("skip did not align")
+	}
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Linear congruential generator constants (Knuth's MMIX multiplier):
+// every kernel derives its pseudo-random behaviour from in-ISA LCG
+// arithmetic, so traces are deterministic and self-contained.
+const (
+	lcgA = 6364136223846793005
+	lcgC = 1442695040888963407
+)
+
+// Heap layout shared by the kernels. Each kernel runs in its own
+// executor, so regions never interfere across workloads.
+const (
+	baseA = 0x0100_0000
+	baseB = 0x0200_0000
+	baseC = 0x0300_0000
+	baseD = 0x0400_0000
+)
+
+// Global register conventions (established by emitConsts, preserved by
+// every kernel thereafter):
+//
+//	R28 = lcgA    R27 = lcgC    R26 = 63 (for arithmetic-shift tricks)
+//
+// Kernels use R1 for the running seed, R2 for the outer trip count,
+// R16..R19 for base pointers and R3..R15 as scratch. Initialisation
+// fills use R20..R25 as scratch.
+const (
+	rSeed = isa.R1
+	rTrip = isa.R2
+	rA    = isa.R28
+	rC    = isa.R27
+	r63   = isa.R26
+)
+
+// emitConsts loads the global constant registers.
+func emitConsts(b *program.Builder) {
+	b.Li(rA, lcgA)
+	b.Li(rC, lcgC)
+	b.Li(r63, 63)
+}
+
+// emitLCG advances the seed register: seed = seed*lcgA + lcgC.
+func emitLCG(b *program.Builder, seed isa.Reg) {
+	b.Mul(seed, seed, rA)
+	b.Add(seed, seed, rC)
+}
+
+// emitFillWords emits an initialisation loop storing n pseudo-random
+// words at base. Each stored value is (seed >> shift) & mask (mask 0
+// stores the raw seed). label must be unique within the program.
+// Clobbers R20..R22.
+func emitFillWords(b *program.Builder, label string, base, n, seed, shift, mask int64) {
+	b.Li(isa.R20, base)
+	b.Li(isa.R21, n)
+	b.Li(isa.R22, seed)
+	b.Label(label)
+	emitLCG(b, isa.R22)
+	v := isa.R22
+	if shift != 0 || mask != 0 {
+		v = isa.R23
+		b.Shri(v, isa.R22, shift)
+		if mask != 0 {
+			b.Andi(v, v, mask)
+		}
+	}
+	b.St(v, isa.R20, 0)
+	b.Addi(isa.R20, isa.R20, 8)
+	b.Addi(isa.R21, isa.R21, -1)
+	b.Bne(isa.R21, isa.R0, label)
+}
+
+// emitFillFloats emits an initialisation loop storing n small positive
+// floating-point values ((seed>>shift) & mask converted to float) at
+// base, so FP kernels start from well-formed numbers rather than
+// reinterpreted random bits. Clobbers R20..R23, F29.
+func emitFillFloats(b *program.Builder, label string, base, n, seed, shift, mask int64) {
+	b.Li(isa.R20, base)
+	b.Li(isa.R21, n)
+	b.Li(isa.R22, seed)
+	b.Label(label)
+	emitLCG(b, isa.R22)
+	b.Shri(isa.R23, isa.R22, shift)
+	b.Andi(isa.R23, isa.R23, mask)
+	b.Addi(isa.R23, isa.R23, 1) // avoid zeros (divisors)
+	b.Cvtif(isa.F29, isa.R23)
+	b.Fst(isa.F29, isa.R20, 0)
+	b.Addi(isa.R20, isa.R20, 8)
+	b.Addi(isa.R21, isa.R21, -1)
+	b.Bne(isa.R21, isa.R0, label)
+}
+
+// emitAbs emits branch-free |rs| into rd using the arithmetic-shift
+// trick; rtmp is clobbered. Requires r63 loaded.
+func emitAbs(b *program.Builder, rd, rs, rtmp isa.Reg) {
+	b.Sar(rtmp, rs, r63)
+	b.Add(rd, rs, rtmp)
+	b.Xor(rd, rd, rtmp)
+}
+
+// emitMax emits branch-free rd = max(ra, rb) (signed); rt1 and rt2 are
+// clobbered. rd may alias ra or rb.
+func emitMax(b *program.Builder, rd, ra, rb, rt1, rt2 isa.Reg) {
+	b.Slt(rt1, ra, rb)      // 1 if ra < rb
+	b.Sub(rt1, isa.R0, rt1) // mask: all-ones if ra < rb
+	b.Xor(rt2, ra, rb)
+	b.And(rt2, rt2, rt1) // (ra^rb) if ra<rb else 0
+	b.Xor(rd, ra, rt2)   // rb if ra<rb else ra
+}
+
+// Short register aliases: the kernels read like assembly listings.
+var (
+	r0, r3, r4, r5 = isa.R0, isa.R3, isa.R4, isa.R5
+	r6, r7, r8, r9 = isa.R6, isa.R7, isa.R8, isa.R9
+	r10, r11, r12  = isa.R10, isa.R11, isa.R12
+	r13, r14, r15  = isa.R13, isa.R14, isa.R15
+	r16, r17, r18  = isa.R16, isa.R17, isa.R18
+	r19            = isa.R19
+
+	f1, f2, f3, f4, f5, f6 = isa.F1, isa.F2, isa.F3, isa.F4, isa.F5, isa.F6
+	f7, f8, f9, f10, f11   = isa.F7, isa.F8, isa.F9, isa.F10, isa.F11
+	f12, f13, f14, f15     = isa.F12, isa.F13, isa.F14, isa.F15
+)

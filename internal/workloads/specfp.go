@@ -1,0 +1,372 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// The SPECfp-2006-like kernels. See specint.go for the conventions.
+
+func init() {
+	register(Workload{Name: "bwaves", Suite: "fp",
+		Description: "5-point stencil relaxation over a 256x256 grid: streaming FP adds with regular control",
+		Build:       buildBwaves})
+	register(Workload{Name: "milc", Suite: "fp",
+		Description: "complex multiply-accumulate over 64 KiB lattice vectors: balanced fmul/fadd chains",
+		Build:       buildMilc})
+	register(Workload{Name: "namd", Suite: "fp",
+		Description: "pairwise particle forces with divides: long-latency FP dependence chains",
+		Build:       buildNamd})
+	register(Workload{Name: "soplex", Suite: "fp",
+		Description: "CSR sparse matrix-vector product: index gathers feeding FP multiply-accumulate",
+		Build:       buildSoplex})
+	register(Workload{Name: "povray", Suite: "fp",
+		Description: "ray-sphere intersection tests: FP arithmetic with data-dependent branches and sqrt on hits",
+		Build:       buildPovray})
+	register(Workload{Name: "lbm", Suite: "fp",
+		Description: "stream-and-collide over five distribution arrays: memory-bound FP relaxation",
+		Build:       buildLbm})
+	register(Workload{Name: "sphinx3", Suite: "fp",
+		Description: "Gaussian mixture scoring: 32-dimension weighted squared-distance reductions",
+		Build:       buildSphinx3})
+}
+
+// bwaves: one Jacobi sweep of a 5-point stencil, 254x254 interior cells
+// read from grid A, written to grid B.
+func buildBwaves() *program.Program {
+	b := program.NewBuilder("bwaves")
+	emitConsts(b)
+	emitFillFloats(b, "fill", baseA, 65536, 0x243F6A88, 16, 255)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Fli(f1, 0.2)
+	b.Li(r3, 1) // row
+	b.Label("main")
+	b.Label("row")
+	b.Li(r4, 1) // col
+	b.Label("col")
+	b.Shli(r5, r3, 8)
+	b.Add(r5, r5, r4)
+	b.Shli(r5, r5, 3)
+	b.Add(r6, r16, r5) // &A[r][c]
+	b.Fld(f2, r6, 0)
+	b.Fld(f3, r6, -8)
+	b.Fld(f4, r6, 8)
+	b.Fld(f5, r6, -2048) // north (256 words)
+	b.Fld(f6, r6, 2048)  // south
+	b.Fadd(f7, f2, f3)
+	b.Fadd(f8, f4, f5)
+	b.Fadd(f7, f7, f8)
+	b.Fadd(f7, f7, f6)
+	b.Fmul(f7, f7, f1)
+	b.Add(r7, r17, r5)
+	b.Fst(f7, r7, 0)
+	b.Addi(r4, r4, 1)
+	b.Slti(r8, r4, 255)
+	b.Bne(r8, r0, "col")
+	b.Addi(r3, r3, 1)
+	b.Slti(r8, r3, 255)
+	b.Bne(r8, r0, "row")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// milc: two passes of complex MAC c += a*b over 8192-element complex
+// vectors stored as separate re/im arrays.
+func buildMilc() *program.Program {
+	b := program.NewBuilder("milc")
+	emitConsts(b)
+	emitFillFloats(b, "fillar", baseA, 8192, 0x452821E6, 16, 63)
+	emitFillFloats(b, "fillai", baseA+8192*8, 8192, 0x38D01377, 16, 63)
+	emitFillFloats(b, "fillbr", baseB, 8192, 0xBE5466CF, 16, 63)
+	emitFillFloats(b, "fillbi", baseB+8192*8, 8192, 0x34E90C6C, 16, 63)
+	b.Li(rTrip, 2)
+	b.Label("main")
+	b.Label("pass")
+	b.Li(r3, 0) // element offset in bytes
+	b.Label("elem")
+	b.Add(r4, r3, r0)
+	b.Li(r5, baseA)
+	b.Add(r5, r5, r4)
+	b.Fld(f1, r5, 0)      // ar
+	b.Fld(f2, r5, 8192*8) // ai
+	b.Li(r6, baseB)
+	b.Add(r6, r6, r4)
+	b.Fld(f3, r6, 0)      // br
+	b.Fld(f4, r6, 8192*8) // bi
+	b.Li(r7, baseC)
+	b.Add(r7, r7, r4)
+	b.Fld(f5, r7, 0)      // cr
+	b.Fld(f6, r7, 8192*8) // ci
+	b.Fmul(f7, f1, f3)
+	b.Fmul(f8, f2, f4)
+	b.Fsub(f7, f7, f8)
+	b.Fadd(f5, f5, f7) // cr += ar*br - ai*bi
+	b.Fmul(f9, f1, f4)
+	b.Fmul(f10, f2, f3)
+	b.Fadd(f9, f9, f10)
+	b.Fadd(f6, f6, f9) // ci += ar*bi + ai*br
+	b.Fst(f5, r7, 0)
+	b.Fst(f6, r7, 8192*8)
+	b.Addi(r3, r3, 8)
+	b.Li(r8, 8192*8)
+	b.Blt(r3, r8, "elem")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "pass")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// namd: 400 outer iterations of 16 LCG-chosen particle pairs, each
+// computing an inverse-square force with a divide in the chain.
+func buildNamd() *program.Program {
+	b := program.NewBuilder("namd")
+	emitConsts(b)
+	emitFillFloats(b, "fillx", baseA, 1024, 0xC97C50DD, 16, 1023)
+	emitFillFloats(b, "filly", baseB, 1024, 0x3F84D5B5, 16, 1023)
+	emitFillFloats(b, "fillz", baseC, 1024, 0xB5470917, 16, 1023)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Li(r18, baseC)
+	b.Fli(f1, 0.5) // epsilon
+	b.Li(rSeed, 0x5EED)
+	b.Li(rTrip, 400)
+	b.Label("main")
+	b.Label("outer")
+	b.Li(r3, 16) // pairs
+	b.Label("pair")
+	emitLCG(b, rSeed)
+	b.Shri(r4, rSeed, 12)
+	b.Andi(r4, r4, 1023)
+	b.Shli(r4, r4, 3) // particle i offset
+	b.Shri(r5, rSeed, 40)
+	b.Andi(r5, r5, 1023)
+	b.Shli(r5, r5, 3) // particle j offset
+	b.Add(r6, r16, r4)
+	b.Add(r7, r16, r5)
+	b.Fld(f2, r6, 0)
+	b.Fld(f3, r7, 0)
+	b.Fsub(f2, f2, f3) // dx
+	b.Add(r6, r17, r4)
+	b.Add(r7, r17, r5)
+	b.Fld(f4, r6, 0)
+	b.Fld(f5, r7, 0)
+	b.Fsub(f4, f4, f5) // dy
+	b.Add(r6, r18, r4)
+	b.Add(r7, r18, r5)
+	b.Fld(f6, r6, 0)
+	b.Fld(f7, r7, 0)
+	b.Fsub(f6, f6, f7) // dz
+	b.Fmul(f8, f2, f2)
+	b.Fmul(f9, f4, f4)
+	b.Fmul(f10, f6, f6)
+	b.Fadd(f8, f8, f9)
+	b.Fadd(f8, f8, f10) // r^2
+	b.Fadd(f8, f8, f1)  // + eps
+	b.Fli(f11, 1.0)
+	b.Fdiv(f11, f11, f8)  // 1/r^2
+	b.Fmul(f12, f11, f11) // 1/r^4
+	b.Fmul(f13, f12, f11) // 1/r^6
+	b.Fmul(f14, f13, f2)  // force x
+	b.Fadd(f15, f15, f14) // accumulate
+	b.Addi(r3, r3, -1)
+	b.Bne(r3, r0, "pair")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// soplex: three passes of CSR sparse matrix-vector product, 1024 rows
+// of 16 nonzeros gathering from an 8192-element dense vector.
+func buildSoplex() *program.Program {
+	b := program.NewBuilder("soplex")
+	emitConsts(b)
+	emitFillWords(b, "fillidx", baseA, 16384, 0xD6E8FEB8, 14, 8191)
+	emitFillFloats(b, "fillval", baseB, 16384, 0x9216D5D9, 16, 63)
+	emitFillFloats(b, "fillx", baseC, 8192, 0x8979FB1B, 16, 63)
+	b.Li(r16, baseA) // column indices
+	b.Li(r17, baseB) // values
+	b.Li(r18, baseC) // x vector
+	b.Li(r19, baseD) // y vector
+	b.Li(rTrip, 3)
+	b.Label("main")
+	b.Label("pass")
+	b.Li(r3, 0) // row
+	b.Li(r4, 0) // nnz cursor (bytes)
+	b.Label("rowloop")
+	b.Fli(f1, 0.0) // accumulator
+	b.Li(r5, 16)   // nnz in row
+	b.Label("nnz")
+	b.Add(r6, r16, r4)
+	b.Ld(r7, r6, 0) // column index
+	b.Shli(r7, r7, 3)
+	b.Add(r7, r18, r7)
+	b.Fld(f2, r7, 0) // x[col]
+	b.Add(r8, r17, r4)
+	b.Fld(f3, r8, 0) // val
+	b.Fmul(f2, f2, f3)
+	b.Fadd(f1, f1, f2)
+	b.Addi(r4, r4, 8)
+	b.Addi(r5, r5, -1)
+	b.Bne(r5, r0, "nnz")
+	b.Shli(r9, r3, 3)
+	b.Add(r9, r19, r9)
+	b.Fst(f1, r9, 0) // y[row]
+	b.Addi(r3, r3, 1)
+	b.Slti(r10, r3, 1024)
+	b.Bne(r10, r0, "rowloop")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "pass")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// povray: 7000 ray-sphere intersection tests with LCG ray directions:
+// discriminant test branches, sqrt on the hit path.
+func buildPovray() *program.Program {
+	b := program.NewBuilder("povray")
+	emitConsts(b)
+	b.Fli(f1, 50.0) // sphere radius^2 scale (tuned for ~50% hit rate)
+	b.Li(rSeed, 0x9A4E)
+	b.Li(rTrip, 7000)
+	b.Label("main")
+	b.Label("ray")
+	emitLCG(b, rSeed)
+	// Direction components from seed bits, roughly in [1, 64].
+	b.Shri(r3, rSeed, 10)
+	b.Andi(r3, r3, 63)
+	b.Addi(r3, r3, 1)
+	b.Cvtif(f2, r3) // dx
+	b.Shri(r4, rSeed, 30)
+	b.Andi(r4, r4, 63)
+	b.Addi(r4, r4, 1)
+	b.Cvtif(f3, r4) // dy
+	b.Shri(r5, rSeed, 50)
+	b.Andi(r5, r5, 63)
+	b.Addi(r5, r5, 1)
+	b.Cvtif(f4, r5) // dz
+	// b = d . oc with oc = (8, 4, 2); c = |oc|^2 - r^2.
+	b.Fli(f5, 8.0)
+	b.Fmul(f6, f2, f5)
+	b.Fli(f5, 4.0)
+	b.Fmul(f7, f3, f5)
+	b.Fli(f5, 2.0)
+	b.Fmul(f8, f4, f5)
+	b.Fadd(f6, f6, f7)
+	b.Fadd(f6, f6, f8) // b
+	b.Fmul(f9, f2, f2)
+	b.Fmul(f10, f3, f3)
+	b.Fmul(f11, f4, f4)
+	b.Fadd(f9, f9, f10)
+	b.Fadd(f9, f9, f11) // |d|^2
+	b.Fmul(f12, f6, f6)
+	b.Fmul(f13, f9, f1)
+	b.Fsub(f12, f12, f13) // discriminant
+	b.Fli(f14, 0.0)
+	b.Flt(r6, f12, f14)
+	b.Bne(r6, r0, "miss")
+	b.Fsqrt(f12, f12)
+	b.Fsub(f15, f6, f12) // nearest t
+	b.Fadd(f15, f15, f15)
+	b.Addi(r7, r7, 1) // hit count
+	b.J("next")
+	b.Label("miss")
+	b.Addi(r8, r8, 1)
+	b.Label("next")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "ray")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// lbm: one stream-and-collide sweep over 8192 cells with five
+// distribution arrays: heavy FP loads/stores, regular control.
+func buildLbm() *program.Program {
+	b := program.NewBuilder("lbm")
+	emitConsts(b)
+	for i, seed := range []int64{0xB8E1AFED, 0x6A267E96, 0xBA7C9045, 0xF12C7F99, 0x24A19947} {
+		emitFillFloats(b, "fill"+string(rune('a'+i)), baseA+int64(i)*8192*8, 8192, seed, 16, 127)
+	}
+	b.Li(r16, baseA)
+	b.Fli(f1, 0.2) // weight
+	b.Fli(f2, 0.6) // omega
+	b.Li(rTrip, 2) // sweeps
+	b.Label("main")
+	b.Label("sweep")
+	b.Li(r3, 0) // byte offset
+	b.Label("cell")
+	b.Add(r4, r16, r3)
+	b.Fld(f3, r4, 0)        // f0
+	b.Fld(f4, r4, 8192*8)   // f1
+	b.Fld(f5, r4, 2*8192*8) // f2
+	b.Fld(f6, r4, 3*8192*8) // f3
+	b.Fld(f7, r4, 4*8192*8) // f4
+	b.Fadd(f8, f3, f4)
+	b.Fadd(f9, f5, f6)
+	b.Fadd(f8, f8, f9)
+	b.Fadd(f8, f8, f7) // rho
+	b.Fmul(f9, f8, f1) // equilibrium
+	// Relax each distribution toward equilibrium.
+	for _, fk := range []struct {
+		reg isa.Reg
+		off int64
+	}{{f3, 0}, {f4, 8192 * 8}, {f5, 2 * 8192 * 8}, {f6, 3 * 8192 * 8}, {f7, 4 * 8192 * 8}} {
+		b.Fsub(f10, f9, fk.reg)
+		b.Fmul(f10, f10, f2)
+		b.Fadd(f11, fk.reg, f10)
+		b.Fst(f11, r4, fk.off)
+	}
+	b.Addi(r3, r3, 8)
+	b.Li(r5, 8192*8)
+	b.Blt(r3, r5, "cell")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// sphinx3: 120 frames scored against 8 Gaussians over 32 dimensions:
+// FP subtract/square/weight reductions with gather loads.
+func buildSphinx3() *program.Program {
+	b := program.NewBuilder("sphinx3")
+	emitConsts(b)
+	emitFillFloats(b, "fillmeans", baseA, 8*32, 0x3C6EF372, 16, 63)
+	emitFillFloats(b, "fillvars", baseB, 8*32, 0xA54FF53A, 16, 31)
+	emitFillFloats(b, "fillx", baseC, 32, 0x510E527F, 16, 63)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Li(r18, baseC)
+	b.Li(rTrip, 120)
+	b.Label("main")
+	b.Label("frame")
+	b.Li(r3, 8) // gaussians
+	b.Li(r4, 0) // mean/var cursor (bytes)
+	b.Label("gauss")
+	b.Fli(f1, 0.0) // score accumulator
+	b.Li(r5, 32)   // dims
+	b.Li(r6, 0)    // x cursor
+	b.Label("dim")
+	b.Add(r7, r18, r6)
+	b.Fld(f2, r7, 0) // x[d]
+	b.Add(r8, r16, r4)
+	b.Fld(f3, r8, 0) // mean
+	b.Add(r9, r17, r4)
+	b.Fld(f4, r9, 0) // 1/var weight
+	b.Fsub(f5, f2, f3)
+	b.Fmul(f5, f5, f5)
+	b.Fmul(f5, f5, f4)
+	b.Fadd(f1, f1, f5)
+	b.Addi(r4, r4, 8)
+	b.Addi(r6, r6, 8)
+	b.Addi(r5, r5, -1)
+	b.Bne(r5, r0, "dim")
+	b.Fadd(f6, f6, f1) // total score
+	b.Addi(r3, r3, -1)
+	b.Bne(r3, r0, "gauss")
+	b.Li(r4, 0)
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "frame")
+	b.Halt()
+	return b.MustBuild()
+}

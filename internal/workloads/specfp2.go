@@ -1,0 +1,533 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// The remaining SPECfp-2006-like kernels, completing the suite to the
+// 17 floating-point benchmarks the paper's SPEC 2006 evaluation spans.
+// Conventions as in specint.go / specfp.go.
+
+func init() {
+	register(Workload{Name: "gamess", Suite: "fp",
+		Description: "electron-integral style quadruple loops: dense FP with sqrt/divide and heavy index arithmetic",
+		Build:       buildGamess})
+	register(Workload{Name: "gromacs", Suite: "fp",
+		Description: "neighbour-list molecular dynamics: gathers, inverse-sqrt force kernels, scattered updates",
+		Build:       buildGromacs})
+	register(Workload{Name: "cactusADM", Suite: "fp",
+		Description: "7-point 3D stencil over a 32^3 grid: long streaming FP with large strides",
+		Build:       buildCactusADM})
+	register(Workload{Name: "leslie3d", Suite: "fp",
+		Description: "9-point 2D stencil over multiple fields: bandwidth-heavy FP relaxation",
+		Build:       buildLeslie3d})
+	register(Workload{Name: "dealII", Suite: "fp",
+		Description: "finite-element assembly: repeated 8x8 dense matrix-vector products",
+		Build:       buildDealII})
+	register(Workload{Name: "calculix", Suite: "fp",
+		Description: "forward substitution on small dense systems: serial FP divide chains",
+		Build:       buildCalculix})
+	register(Workload{Name: "GemsFDTD", Suite: "fp",
+		Description: "interleaved E/H field updates: two coupled stencil sweeps, memory bound",
+		Build:       buildGemsFDTD})
+	register(Workload{Name: "tonto", Suite: "fp",
+		Description: "Horner polynomial chains over basis coefficients: serial FP dependence chains",
+		Build:       buildTonto})
+	register(Workload{Name: "wrf", Suite: "fp",
+		Description: "advection with flux limiter: stencil FP plus data-dependent branches",
+		Build:       buildWrf})
+	register(Workload{Name: "zeusmp", Suite: "fp",
+		Description: "flux-difference hydro sweep: stencil reads, divide per cell, dual-array writes",
+		Build:       buildZeusmp})
+}
+
+// gamess: quadruple-nested integral loops reduced to two levels with
+// LCG index generation; each "integral" computes r = sqrt(a2+b2),
+// v = c / (r + eps), accumulating into a shell matrix.
+func buildGamess() *program.Program {
+	b := program.NewBuilder("gamess")
+	emitConsts(b)
+	emitFillFloats(b, "fillexp", baseA, 2048, 0x1F83D9AB, 16, 255)
+	emitFillFloats(b, "fillcoef", baseB, 2048, 0x5BE0CD19, 16, 63)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Li(r18, baseC) // shell accumulator matrix
+	b.Fli(f1, 0.5)   // eps
+	b.Li(rSeed, 0x6A09)
+	b.Li(rTrip, 900)
+	b.Label("main")
+	b.Label("shell")
+	emitLCG(b, rSeed)
+	b.Li(r3, 8) // integrals per shell pair
+	b.Label("integral")
+	b.Shri(r4, rSeed, 9)
+	b.Andi(r4, r4, 2047)
+	b.Shli(r4, r4, 3)
+	b.Shri(r5, rSeed, 29)
+	b.Andi(r5, r5, 2047)
+	b.Shli(r5, r5, 3)
+	b.Add(r6, r16, r4)
+	b.Fld(f2, r6, 0) // exponent a
+	b.Add(r7, r16, r5)
+	b.Fld(f3, r7, 0) // exponent b
+	b.Add(r8, r17, r4)
+	b.Fld(f4, r8, 0) // coefficient
+	b.Fmul(f5, f2, f2)
+	b.Fmul(f6, f3, f3)
+	b.Fadd(f5, f5, f6)
+	b.Fsqrt(f5, f5) // r
+	b.Fadd(f5, f5, f1)
+	b.Fdiv(f7, f4, f5) // v = c/(r+eps)
+	// Accumulate into the shell matrix slot chosen by the pair.
+	b.Xor(r9, r4, r5)
+	b.Andi(r9, r9, 1023)
+	b.Shli(r9, r9, 3)
+	b.Add(r9, r18, r9)
+	b.Fld(f8, r9, 0)
+	b.Fadd(f8, f8, f7)
+	b.Fst(f8, r9, 0)
+	b.Addi(r3, r3, -1)
+	b.Bne(r3, r0, "integral")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "shell")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// gromacs: per-particle neighbour loops: gather neighbour index, load
+// its coordinate, inverse-sqrt force, scatter-add into force array.
+func buildGromacs() *program.Program {
+	b := program.NewBuilder("gromacs")
+	emitConsts(b)
+	emitFillWords(b, "fillnbr", baseA, 16384, 0xBB67AE85, 13, 2047)
+	emitFillFloats(b, "fillpos", baseB, 2048, 0x3C6EF372, 16, 511)
+	b.Li(r16, baseA) // neighbour lists (16 per particle)
+	b.Li(r17, baseB) // positions
+	b.Li(r18, baseC) // forces
+	b.Fli(f1, 1.0)
+	b.Fli(f2, 0.25) // eps
+	b.Li(r3, 0)     // particle
+	b.Label("main")
+	b.Label("particle")
+	b.Shli(r4, r3, 3)
+	b.Add(r5, r17, r4)
+	b.Fld(f3, r5, 0)  // x_i
+	b.Fli(f4, 0.0)    // force accumulator
+	b.Shli(r6, r3, 4) // neighbour cursor: 16 per particle
+	b.Shli(r6, r6, 3)
+	b.Add(r6, r16, r6)
+	b.Li(r7, 16)
+	b.Label("nbr")
+	b.Ld(r8, r6, 0) // neighbour index
+	b.Shli(r8, r8, 3)
+	b.Add(r8, r17, r8)
+	b.Fld(f5, r8, 0) // x_j
+	b.Fsub(f6, f3, f5)
+	b.Fmul(f7, f6, f6)
+	b.Fadd(f7, f7, f2)
+	b.Fsqrt(f8, f7)
+	b.Fdiv(f9, f1, f8) // 1/r
+	b.Fmul(f10, f9, f9)
+	b.Fmul(f10, f10, f6) // force component
+	b.Fadd(f4, f4, f10)
+	b.Addi(r6, r6, 8)
+	b.Addi(r7, r7, -1)
+	b.Bne(r7, r0, "nbr")
+	b.Add(r9, r18, r4)
+	b.Fst(f4, r9, 0)
+	b.Addi(r3, r3, 1)
+	b.Andi(r3, r3, 1023)
+	b.Addi(rTrip, rTrip, 1)
+	b.Slti(r10, rTrip, 1400)
+	b.Bne(r10, r0, "particle")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// cactusADM: 7-point stencil over a 32x32x32 grid (strides 1, 32,
+// 1024 words).
+func buildCactusADM() *program.Program {
+	b := program.NewBuilder("cactusADM")
+	emitConsts(b)
+	emitFillFloats(b, "fill", baseA, 32768, 0xA4093822, 16, 127)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Fli(f1, 0.125)
+	b.Li(r3, 1) // z plane
+	b.Label("main")
+	b.Label("plane")
+	b.Li(r4, 1) // y row
+	b.Label("row")
+	b.Li(r5, 1) // x
+	b.Label("cell")
+	// idx = (z*32 + y)*32 + x
+	b.Shli(r6, r3, 5)
+	b.Add(r6, r6, r4)
+	b.Shli(r6, r6, 5)
+	b.Add(r6, r6, r5)
+	b.Shli(r6, r6, 3)
+	b.Add(r7, r16, r6)
+	b.Fld(f2, r7, 0)
+	b.Fld(f3, r7, -8)
+	b.Fld(f4, r7, 8)
+	b.Fld(f5, r7, -256)  // y-1 (32 words)
+	b.Fld(f6, r7, 256)   // y+1
+	b.Fld(f7, r7, -8192) // z-1 (1024 words)
+	b.Fld(f8, r7, 8192)  // z+1
+	b.Fadd(f9, f2, f3)
+	b.Fadd(f10, f4, f5)
+	b.Fadd(f11, f6, f7)
+	b.Fadd(f9, f9, f10)
+	b.Fadd(f9, f9, f11)
+	b.Fadd(f9, f9, f8)
+	b.Fmul(f9, f9, f1)
+	b.Add(r8, r17, r6)
+	b.Fst(f9, r8, 0)
+	b.Addi(r5, r5, 1)
+	b.Slti(r9, r5, 31)
+	b.Bne(r9, r0, "cell")
+	b.Addi(r4, r4, 1)
+	b.Slti(r9, r4, 31)
+	b.Bne(r9, r0, "row")
+	b.Addi(r3, r3, 1)
+	b.Slti(r9, r3, 31)
+	b.Bne(r9, r0, "plane")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// leslie3d: 9-point stencil over two fields of a 192x192 grid,
+// combining both into a third.
+func buildLeslie3d() *program.Program {
+	b := program.NewBuilder("leslie3d")
+	emitConsts(b)
+	emitFillFloats(b, "fillu", baseA, 36864, 0x243185BE, 16, 127)
+	emitFillFloats(b, "fillv", baseB, 36864, 0x550C7DC3, 16, 127)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Li(r18, baseC)
+	b.Fli(f1, 0.1)
+	b.Li(r3, 1)
+	b.Label("main")
+	b.Label("row")
+	b.Li(r4, 1)
+	b.Label("col")
+	// idx = r*192 + c
+	b.Li(r5, 192)
+	b.Mul(r5, r3, r5)
+	b.Add(r5, r5, r4)
+	b.Shli(r5, r5, 3)
+	b.Add(r6, r16, r5)
+	b.Add(r7, r17, r5)
+	// 9-point on u: centre, 4 sides, 4 corners (row stride 192*8=1536).
+	b.Fld(f2, r6, 0)
+	b.Fld(f3, r6, -8)
+	b.Fld(f4, r6, 8)
+	b.Fld(f5, r6, -1536)
+	b.Fld(f6, r6, 1536)
+	b.Fld(f7, r6, -1544)
+	b.Fld(f8, r6, -1528)
+	b.Fld(f9, r6, 1528)
+	b.Fld(f10, r6, 1544)
+	b.Fadd(f3, f3, f4)
+	b.Fadd(f5, f5, f6)
+	b.Fadd(f7, f7, f8)
+	b.Fadd(f9, f9, f10)
+	b.Fadd(f3, f3, f5)
+	b.Fadd(f7, f7, f9)
+	b.Fadd(f3, f3, f7)
+	b.Fmul(f3, f3, f1)
+	// Couple with v.
+	b.Fld(f11, r7, 0)
+	b.Fmul(f12, f11, f2)
+	b.Fadd(f3, f3, f12)
+	b.Add(r8, r18, r5)
+	b.Fst(f3, r8, 0)
+	b.Addi(r4, r4, 1)
+	b.Slti(r9, r4, 191)
+	b.Bne(r9, r0, "col")
+	b.Addi(r3, r3, 1)
+	b.Slti(r9, r3, 191)
+	b.Bne(r9, r0, "row")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// dealII: element assembly — 8x8 dense matrix times 8-vector, looped
+// over 1400 elements with LCG-selected matrices.
+func buildDealII() *program.Program {
+	b := program.NewBuilder("dealII")
+	emitConsts(b)
+	emitFillFloats(b, "fillmats", baseA, 64*64, 0x9B05688C, 16, 63) // 64 matrices
+	emitFillFloats(b, "fillvec", baseB, 8, 0x1F83D9AC, 16, 31)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Li(r18, baseC) // result accumulator (8 words)
+	b.Li(rSeed, 0xD311)
+	b.Li(rTrip, 1400)
+	b.Label("main")
+	b.Label("elem")
+	emitLCG(b, rSeed)
+	b.Shri(r3, rSeed, 22)
+	b.Andi(r3, r3, 63) // matrix index
+	b.Shli(r3, r3, 9)  // *64 words *8 bytes
+	b.Add(r3, r16, r3)
+	b.Li(r4, 8)  // rows
+	b.Li(r11, 0) // result offset
+	b.Label("mrow")
+	b.Fli(f1, 0.0)
+	b.Mov(r5, r17) // vector pointer
+	b.Li(r6, 8)    // cols
+	b.Label("mcol")
+	b.Fld(f2, r3, 0)
+	b.Fld(f3, r5, 0)
+	b.Fmul(f2, f2, f3)
+	b.Fadd(f1, f1, f2)
+	b.Addi(r3, r3, 8)
+	b.Addi(r5, r5, 8)
+	b.Addi(r6, r6, -1)
+	b.Bne(r6, r0, "mcol")
+	b.Add(r7, r18, r11)
+	b.Fld(f4, r7, 0)
+	b.Fadd(f4, f4, f1)
+	b.Fst(f4, r7, 0)
+	b.Addi(r11, r11, 8)
+	b.Addi(r4, r4, -1)
+	b.Bne(r4, r0, "mrow")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "elem")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// calculix: forward substitution y = L^-1 b on 16x16 lower-triangular
+// systems: a serial chain of FP divides and accumulations.
+func buildCalculix() *program.Program {
+	b := program.NewBuilder("calculix")
+	emitConsts(b)
+	emitFillFloats(b, "fillL", baseA, 16*16, 0x8C6F3B9A, 16, 63)
+	emitFillFloats(b, "fillb", baseB, 16, 0x41237FD1, 16, 63)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Li(r18, baseC) // y
+	b.Li(rTrip, 900) // systems
+	b.Label("main")
+	b.Label("system")
+	b.Li(r3, 0) // row i
+	b.Label("fsrow")
+	// s = b[i]
+	b.Shli(r4, r3, 3)
+	b.Add(r5, r17, r4)
+	b.Fld(f1, r5, 0)
+	// s -= sum_j<i L[i][j] * y[j]
+	b.Li(r6, 0) // j
+	b.Beq(r3, r0, "nodeps")
+	b.Label("fscol")
+	b.Shli(r7, r3, 4)
+	b.Add(r7, r7, r6)
+	b.Shli(r7, r7, 3)
+	b.Add(r7, r16, r7)
+	b.Fld(f2, r7, 0) // L[i][j]
+	b.Shli(r8, r6, 3)
+	b.Add(r8, r18, r8)
+	b.Fld(f3, r8, 0) // y[j]
+	b.Fmul(f2, f2, f3)
+	b.Fsub(f1, f1, f2)
+	b.Addi(r6, r6, 1)
+	b.Blt(r6, r3, "fscol")
+	b.Label("nodeps")
+	// y[i] = s / L[i][i]
+	b.Shli(r9, r3, 4)
+	b.Add(r9, r9, r3)
+	b.Shli(r9, r9, 3)
+	b.Add(r9, r16, r9)
+	b.Fld(f4, r9, 0)
+	b.Fdiv(f1, f1, f4)
+	b.Add(r10, r18, r4)
+	b.Fst(f1, r10, 0)
+	b.Addi(r3, r3, 1)
+	b.Slti(r11, r3, 16)
+	b.Bne(r11, r0, "fsrow")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "system")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// GemsFDTD: coupled E/H sweeps: H[i] += c*(E[i+1]-E[i]) then
+// E[i] += c*(H[i]-H[i-1]), alternating over 16384-word fields.
+func buildGemsFDTD() *program.Program {
+	b := program.NewBuilder("GemsFDTD")
+	emitConsts(b)
+	emitFillFloats(b, "fillE", baseA, 16384, 0xCA62C1D6, 16, 127)
+	emitFillFloats(b, "fillH", baseB, 16384, 0x6ED9EBA1, 16, 127)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Fli(f1, 0.4)
+	b.Li(rTrip, 2) // timesteps
+	b.Label("main")
+	b.Label("step")
+	// H update.
+	b.Li(r3, 0)
+	b.Label("hup")
+	b.Shli(r4, r3, 3)
+	b.Add(r5, r16, r4)
+	b.Add(r6, r17, r4)
+	b.Fld(f2, r5, 8)
+	b.Fld(f3, r5, 0)
+	b.Fsub(f2, f2, f3)
+	b.Fmul(f2, f2, f1)
+	b.Fld(f4, r6, 0)
+	b.Fadd(f4, f4, f2)
+	b.Fst(f4, r6, 0)
+	b.Addi(r3, r3, 1)
+	b.Slti(r7, r3, 16383)
+	b.Bne(r7, r0, "hup")
+	// E update.
+	b.Li(r3, 1)
+	b.Label("eup")
+	b.Shli(r4, r3, 3)
+	b.Add(r5, r16, r4)
+	b.Add(r6, r17, r4)
+	b.Fld(f2, r6, 0)
+	b.Fld(f3, r6, -8)
+	b.Fsub(f2, f2, f3)
+	b.Fmul(f2, f2, f1)
+	b.Fld(f4, r5, 0)
+	b.Fadd(f4, f4, f2)
+	b.Fst(f4, r5, 0)
+	b.Addi(r3, r3, 1)
+	b.Slti(r7, r3, 16384)
+	b.Bne(r7, r0, "eup")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "step")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// tonto: Horner evaluation of degree-12 polynomials: long serial FP
+// multiply-add chains with little ILP inside a chain, many chains.
+func buildTonto() *program.Program {
+	b := program.NewBuilder("tonto")
+	emitConsts(b)
+	emitFillFloats(b, "fillcoef", baseA, 13*64, 0x92722C85, 16, 31)
+	b.Li(r16, baseA)
+	b.Li(rSeed, 0x70A7)
+	b.Li(rTrip, 2300)
+	b.Label("main")
+	b.Label("poly")
+	emitLCG(b, rSeed)
+	// x in (0, 2): x = 1 + small
+	b.Shri(r3, rSeed, 40)
+	b.Andi(r3, r3, 255)
+	b.Cvtif(f1, r3)
+	b.Fli(f2, 256.0)
+	b.Fdiv(f1, f1, f2) // x-1
+	b.Fli(f3, 1.0)
+	b.Fadd(f1, f1, f3) // x
+	// Coefficient block.
+	b.Shri(r4, rSeed, 17)
+	b.Andi(r4, r4, 63)
+	b.Li(r5, 13*8)
+	b.Mul(r4, r4, r5)
+	b.Add(r4, r16, r4)
+	// Horner: acc = c[0]; acc = acc*x + c[k].
+	b.Fld(f4, r4, 0)
+	b.Li(r6, 12)
+	b.Label("horner")
+	b.Addi(r4, r4, 8)
+	b.Fld(f5, r4, 0)
+	b.Fmul(f4, f4, f1)
+	b.Fadd(f4, f4, f5)
+	b.Addi(r6, r6, -1)
+	b.Bne(r6, r0, "horner")
+	b.Fadd(f6, f6, f4) // global accumulator
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "poly")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// wrf: upwind advection with a flux limiter: stencil loads plus a
+// data-dependent branch choosing the limited or unlimited flux.
+func buildWrf() *program.Program {
+	b := program.NewBuilder("wrf")
+	emitConsts(b)
+	emitFillFloats(b, "fillq", baseA, 16384, 0x3F84D5B6, 16, 255)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Fli(f1, 0.3)  // courant
+	b.Fli(f2, 64.0) // limiter threshold
+	b.Li(rTrip, 2)  // sweeps
+	b.Label("main")
+	b.Label("sweep")
+	b.Li(r3, 2)
+	b.Label("cell")
+	b.Shli(r4, r3, 3)
+	b.Add(r5, r16, r4)
+	b.Fld(f3, r5, 0)
+	b.Fld(f4, r5, -8)
+	b.Fld(f5, r5, -16)
+	b.Fsub(f6, f3, f4) // gradient
+	b.Fsub(f7, f4, f5) // upstream gradient
+	// Limiter: if |grad| > threshold use upstream, else centred.
+	b.Fabs(f8, f6)
+	b.Flt(r6, f8, f2)
+	b.Bne(r6, r0, "centred")
+	b.Fmul(f9, f7, f1)
+	b.J("flux")
+	b.Label("centred")
+	b.Fmul(f9, f6, f1)
+	b.Label("flux")
+	b.Fsub(f10, f3, f9)
+	b.Add(r7, r17, r4)
+	b.Fst(f10, r7, 0)
+	b.Addi(r3, r3, 1)
+	b.Slti(r8, r3, 16384)
+	b.Bne(r8, r0, "cell")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// zeusmp: hydro flux sweep: per cell read density/velocity, compute a
+// flux with one divide, update two arrays.
+func buildZeusmp() *program.Program {
+	b := program.NewBuilder("zeusmp")
+	emitConsts(b)
+	emitFillFloats(b, "filld", baseA, 8192, 0x5A827999, 16, 127)
+	emitFillFloats(b, "fillv", baseB, 8192, 0x8F1BBCDC, 16, 63)
+	b.Li(r16, baseA) // density
+	b.Li(r17, baseB) // velocity
+	b.Li(r18, baseC) // flux out
+	b.Li(r19, baseD) // energy out
+	b.Fli(f1, 0.5)
+	b.Li(rTrip, 3) // sweeps
+	b.Label("main")
+	b.Label("sweep")
+	b.Li(r3, 1)
+	b.Label("cell")
+	b.Shli(r4, r3, 3)
+	b.Add(r5, r16, r4)
+	b.Add(r6, r17, r4)
+	b.Fld(f2, r5, 0)  // d[i]
+	b.Fld(f3, r5, -8) // d[i-1]
+	b.Fld(f4, r6, 0)  // v[i]
+	b.Fadd(f5, f2, f3)
+	b.Fmul(f5, f5, f1) // face density
+	b.Fmul(f6, f5, f4) // mass flux
+	b.Fadd(f7, f2, f1)
+	b.Fdiv(f8, f6, f7) // normalised flux
+	b.Add(r7, r18, r4)
+	b.Fst(f6, r7, 0)
+	b.Add(r8, r19, r4)
+	b.Fst(f8, r8, 0)
+	b.Addi(r3, r3, 1)
+	b.Slti(r9, r3, 8192)
+	b.Bne(r9, r0, "cell")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}

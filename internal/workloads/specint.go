@@ -1,0 +1,593 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// The SPECint-2006-like kernels. Each mimics the dynamic character of
+// its namesake: operation mix, branch predictability, memory footprint
+// and dependence topology. All are deterministic, driven by in-ISA LCG
+// arithmetic, and label their timed region "main".
+
+func init() {
+	register(Workload{Name: "perlbench", Suite: "int",
+		Description: "string hashing into a probed hash table: dependent hash chains, branchy probes, L1-resident buffer",
+		Build:       buildPerlbench})
+	register(Workload{Name: "bzip2", Suite: "int",
+		Description: "run-length encoding with byte-frequency counting: data-dependent branches over a streamed buffer",
+		Build:       buildBzip2})
+	register(Workload{Name: "gcc", Suite: "int",
+		Description: "randomised tree descent with data-dependent updates: branchy pointer arithmetic over a node pool",
+		Build:       buildGcc})
+	register(Workload{Name: "mcf", Suite: "int",
+		Description: "pointer chase over a 2 MiB permutation chain: serial loads, DRAM-bound, minimal ILP",
+		Build:       buildMcf})
+	register(Workload{Name: "gobmk", Suite: "int",
+		Description: "board-position sweeps with per-neighbour branching: dense hard-to-predict control flow",
+		Build:       buildGobmk})
+	register(Workload{Name: "hmmer", Suite: "int",
+		Description: "Viterbi-style dynamic-programming row updates with branch-free max: high integer ILP",
+		Build:       buildHmmer})
+	register(Workload{Name: "sjeng", Suite: "int",
+		Description: "depth-8 ternary game-tree recursion: call/return pressure, stack traffic, branchy evaluation",
+		Build:       buildSjeng})
+	register(Workload{Name: "libquantum", Suite: "int",
+		Description: "gate application sweeps over a 512 KiB register file: regular streaming with sparse updates",
+		Build:       buildLibquantum})
+	register(Workload{Name: "h264ref", Suite: "int",
+		Description: "sum-of-absolute-differences motion search: dense loads and branch-free abs accumulation",
+		Build:       buildH264ref})
+	register(Workload{Name: "omnetpp", Suite: "int",
+		Description: "calendar-queue event insertion with periodic bucket scans: irregular stores and branchy scans",
+		Build:       buildOmnetpp})
+	register(Workload{Name: "astar", Suite: "int",
+		Description: "greedy grid walk choosing the cheapest neighbour: data-dependent branches, scattered loads",
+		Build:       buildAstar})
+	register(Workload{Name: "xalancbmk", Suite: "int",
+		Description: "tag-comparison tree descent: short compare loops with early exits over a node pool",
+		Build:       buildXalancbmk})
+}
+
+// perlbench: hash 16-word strings from a 32 KiB buffer into a 2048-way
+// probed table.
+func buildPerlbench() *program.Program {
+	b := program.NewBuilder("perlbench")
+	emitConsts(b)
+	emitFillWords(b, "fill", baseA, 4096, 0x9E3779B9, 0, 0)
+	b.Li(r16, baseA) // buffer
+	b.Li(r17, baseB) // table
+	b.Li(rSeed, 0xDEADBEEF)
+	b.Li(rTrip, 2200)
+	b.Label("main")
+	b.Label("outer")
+	emitLCG(b, rSeed)
+	b.Shri(r3, rSeed, 20)
+	b.Andi(r3, r3, 0x0FE0) // word index, multiple of 32
+	b.Shli(r3, r3, 3)
+	b.Add(r4, r16, r3) // string pointer
+	b.Li(r5, 5381)     // h
+	b.Li(r6, 16)       // length
+	b.Label("hash")
+	b.Ld(r7, r4, 0)
+	b.Shli(r8, r5, 5)
+	b.Add(r5, r8, r5)
+	b.Xor(r5, r5, r7)
+	b.Addi(r4, r4, 8)
+	b.Addi(r6, r6, -1)
+	b.Bne(r6, r0, "hash")
+	// Probe two slots.
+	b.Andi(r9, r5, 2047)
+	b.Shli(r9, r9, 3)
+	b.Add(r9, r17, r9)
+	b.Ld(r10, r9, 0)
+	b.Beq(r10, r0, "insert")
+	b.Beq(r10, r5, "found")
+	b.Ld(r11, r9, 8)
+	b.Beq(r11, r5, "found")
+	b.St(r5, r9, 8)
+	b.J("next")
+	b.Label("insert")
+	b.St(r5, r9, 0)
+	b.J("next")
+	b.Label("found")
+	b.Addi(r12, r12, 1)
+	b.Label("next")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// bzip2: two RLE passes over a 64 KiB buffer of 4-valued symbols, with
+// frequency counting.
+func buildBzip2() *program.Program {
+	b := program.NewBuilder("bzip2")
+	emitConsts(b)
+	emitFillWords(b, "fill", baseA, 8192, 0xB5297A4D, 16, 3)
+	b.Li(r16, baseA) // buffer
+	b.Li(r17, baseD) // freq table (4 words)
+	b.Li(rTrip, 2)   // passes
+	b.Li(r10, baseC) // output pointer
+	b.Label("main")
+	b.Label("pass")
+	b.Li(r3, baseA)
+	b.Li(r4, 8192)
+	b.Li(r5, -1) // prev
+	b.Li(r6, 0)  // run length
+	b.Label("scan")
+	b.Ld(r7, r3, 0)
+	b.Shli(r8, r7, 3)
+	b.Add(r8, r17, r8)
+	b.Ld(r9, r8, 0)
+	b.Addi(r9, r9, 1)
+	b.St(r9, r8, 0)
+	b.Beq(r7, r5, "same")
+	b.St(r6, r10, 0)
+	b.Addi(r10, r10, 8)
+	b.Mov(r5, r7)
+	b.Li(r6, 1)
+	b.J("cont")
+	b.Label("same")
+	b.Addi(r6, r6, 1)
+	b.Label("cont")
+	b.Addi(r3, r3, 8)
+	b.Addi(r4, r4, -1)
+	b.Bne(r4, r0, "scan")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "pass")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// gcc: 1500 depth-11 descents of an implicit binary tree, direction
+// chosen by seed bits, with data-dependent accumulation and occasional
+// writebacks.
+func buildGcc() *program.Program {
+	b := program.NewBuilder("gcc")
+	emitConsts(b)
+	emitFillWords(b, "fill", baseA, 4096, 0x2545F491, 0, 0)
+	b.Li(r16, baseA)
+	b.Li(rSeed, 0x1234567)
+	b.Li(rTrip, 1500)
+	b.Label("main")
+	b.Label("walk")
+	emitLCG(b, rSeed)
+	b.Li(r3, 0)  // node index
+	b.Li(r4, 11) // depth
+	b.Label("down")
+	b.Shr(r5, rSeed, r4) // level-dependent direction bit
+	b.Andi(r5, r5, 1)
+	b.Shli(r6, r3, 1)
+	b.Addi(r6, r6, 1)
+	b.Add(r6, r6, r5)
+	b.Andi(r3, r6, 4095)
+	b.Shli(r7, r3, 3)
+	b.Add(r7, r16, r7)
+	b.Ld(r8, r7, 0)
+	b.Andi(r9, r8, 1)
+	b.Beq(r9, r0, "skipadd")
+	b.Add(r10, r10, r8)
+	b.Label("skipadd")
+	b.Addi(r4, r4, -1)
+	b.Bne(r4, r0, "down")
+	b.Andi(r11, r8, 7)
+	b.Bne(r11, r0, "noupd")
+	b.St(r10, r7, 0)
+	b.Label("noupd")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "walk")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// mcf: serial pointer chase through a 2 MiB single-cycle permutation:
+// each node holds the address of the next, 123457 slots away.
+func buildMcf() *program.Program {
+	const n = 1 << 18 // nodes (2 MiB)
+	const stride = 123457
+	b := program.NewBuilder("mcf")
+	emitConsts(b)
+	b.Li(r16, baseA)
+	b.Li(isa.R20, 0) // i
+	b.Li(isa.R21, n)
+	b.Label("init")
+	b.Addi(isa.R22, isa.R20, stride)
+	b.Andi(isa.R22, isa.R22, n-1)
+	b.Shli(isa.R22, isa.R22, 3)
+	b.Add(isa.R22, r16, isa.R22) // address of successor node
+	b.Shli(isa.R23, isa.R20, 3)
+	b.Add(isa.R23, r16, isa.R23) // this node's slot
+	b.St(isa.R22, isa.R23, 0)
+	b.Addi(isa.R20, isa.R20, 1)
+	b.Blt(isa.R20, isa.R21, "init")
+	b.Li(r3, baseA) // chase pointer
+	b.Li(rTrip, 22000)
+	b.Label("main")
+	b.Label("chase")
+	b.Ld(r3, r3, 0) // serial dependent load
+	b.Andi(r5, r3, 255)
+	b.Add(r4, r4, r5) // arc-cost accumulation
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "chase")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// gobmk: 60 sweeps over a 20x20 board, branching on every cell and its
+// four neighbours.
+func buildGobmk() *program.Program {
+	b := program.NewBuilder("gobmk")
+	emitConsts(b)
+	emitFillWords(b, "fill", baseA, 400, 0x51D5B6C7, 17, 3)
+	b.Li(r16, baseA)
+	b.Li(rTrip, 60)
+	b.Label("main")
+	b.Label("sweep")
+	b.Li(r3, 21) // cell index (skip border)
+	b.Label("cell")
+	b.Shli(r4, r3, 3)
+	b.Add(r4, r16, r4)
+	b.Ld(r5, r4, 0)
+	b.Bne(r5, r0, "stone")
+	b.Addi(r10, r10, 1) // empties
+	b.J("nextcell")
+	b.Label("stone")
+	// Liberty count: branch per neighbour.
+	for i, off := range []int64{-8, 8, -160, 160} {
+		skip := "nolib" + string(rune('a'+i))
+		b.Ld(r6, r4, off)
+		b.Bne(r6, r0, skip)
+		b.Addi(r11, r11, 1)
+		b.Label(skip)
+	}
+	// Same-colour chain bonus.
+	b.Ld(r7, r4, 8)
+	b.Bne(r7, r5, "nochain")
+	b.Add(r12, r12, r5)
+	b.Label("nochain")
+	b.Label("nextcell")
+	b.Addi(r3, r3, 1)
+	b.Slti(r8, r3, 379)
+	b.Bne(r8, r0, "cell")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// hmmer: 16 rows of a 512-column Viterbi-style recurrence with
+// branch-free 3-way max — wide, predictable, high-ILP integer code.
+func buildHmmer() *program.Program {
+	b := program.NewBuilder("hmmer")
+	emitConsts(b)
+	emitFillWords(b, "fillm", baseA, 512, 0xA0761D64, 40, 1023)
+	emitFillWords(b, "filli", baseB, 512, 0xE7037ED1, 40, 1023)
+	emitFillWords(b, "filld", baseC, 512, 0x8EBC6AF0, 40, 1023)
+	b.Li(r16, baseA) // M row
+	b.Li(r17, baseB) // I row
+	b.Li(r18, baseC) // D row
+	b.Li(rTrip, 16)  // rows
+	b.Label("main")
+	b.Label("row")
+	b.Li(r3, 1) // column
+	b.Label("col")
+	b.Shli(r4, r3, 3)
+	b.Add(r5, r16, r4) // &M[col]
+	b.Add(r6, r17, r4) // &I[col]
+	b.Add(r7, r18, r4) // &D[col]
+	b.Ld(r8, r5, -8)   // M[col-1]
+	b.Ld(r9, r6, -8)   // I[col-1]
+	b.Ld(r10, r7, -8)  // D[col-1]
+	b.Addi(r8, r8, 3)  // transition scores
+	b.Addi(r9, r9, 7)
+	b.Addi(r10, r10, 11)
+	emitMax(b, r11, r8, r9, r12, r13)
+	emitMax(b, r11, r11, r10, r12, r13)
+	b.Ld(r14, r5, 0) // emission from old M[col]
+	b.Andi(r14, r14, 255)
+	b.Add(r11, r11, r14)
+	b.St(r11, r5, 0) // M[col] =
+	// I[col] = max(I[col], M[col-1]+1)
+	b.Ld(r14, r6, 0)
+	b.Addi(r8, r8, 1)
+	emitMax(b, r14, r14, r8, r12, r13)
+	b.St(r14, r6, 0)
+	// D[col] = M[col] - 2
+	b.Addi(r15, r11, -2)
+	b.St(r15, r7, 0)
+	b.Addi(r3, r3, 1)
+	b.Slti(r12, r3, 512)
+	b.Bne(r12, r0, "col")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "row")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// sjeng: recursive ternary search to depth 8 with stack frames, LCG
+// move generation and a branchy max at every node.
+func buildSjeng() *program.Program {
+	b := program.NewBuilder("sjeng")
+	emitConsts(b)
+	b.Label("main")
+	b.Li(isa.R1, 8)        // depth argument
+	b.Li(isa.R2, 0xC0FFEE) // seed argument
+	b.Call("search")
+	b.Halt()
+
+	// search(depth=R1, seed=R2) -> score=R3. Callee-saves R4, R5, RA;
+	// stashes its arguments in the frame for per-child reloads.
+	b.Label("search")
+	b.Bne(isa.R1, r0, "interior")
+	// Leaf evaluation.
+	b.Mul(r3, isa.R2, rA)
+	b.Shri(r3, r3, 33)
+	b.Andi(r3, r3, 1023)
+	b.Ret()
+	b.Label("interior")
+	b.Addi(isa.SP, isa.SP, -40)
+	b.St(isa.RA, isa.SP, 0)
+	b.St(r4, isa.SP, 8)
+	b.St(r5, isa.SP, 16)
+	b.St(isa.R2, isa.SP, 24)
+	b.St(isa.R1, isa.SP, 32)
+	b.Li(r4, -1000000) // best
+	b.Li(r5, 0)        // child
+	b.Label("child")
+	b.Ld(isa.R2, isa.SP, 24)
+	b.Add(r6, isa.R2, r5)
+	b.Mul(isa.R2, r6, rA)
+	b.Add(isa.R2, isa.R2, rC)
+	b.Ld(isa.R1, isa.SP, 32)
+	b.Addi(isa.R1, isa.R1, -1)
+	b.Call("search")
+	b.Slt(r7, r4, r3)
+	b.Beq(r7, r0, "nomax")
+	b.Mov(r4, r3)
+	b.Label("nomax")
+	b.Addi(r5, r5, 1)
+	b.Slti(r7, r5, 3)
+	b.Bne(r7, r0, "child")
+	b.Mov(r3, r4)
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Ld(r4, isa.SP, 8)
+	b.Ld(r5, isa.SP, 16)
+	b.Addi(isa.SP, isa.SP, 40)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// libquantum: two gate-application sweeps over a 512 KiB quantum
+// register: streaming loads, sparse conditional bit toggles.
+func buildLibquantum() *program.Program {
+	b := program.NewBuilder("libquantum")
+	emitConsts(b)
+	emitFillWords(b, "fill", baseA, 65536, 0x6C62272E, 0, 0)
+	b.Li(r16, baseA)
+	b.Li(rTrip, 2)
+	b.Label("main")
+	b.Label("pass")
+	b.Li(r3, baseA)
+	b.Li(r4, 65536)
+	b.Label("gate")
+	b.Ld(r5, r3, 0)
+	b.Shri(r6, r5, 13)
+	b.Andi(r6, r6, 1)
+	b.Beq(r6, r0, "skip")
+	b.Xori(r5, r5, 0x40000)
+	b.St(r5, r3, 0)
+	b.Addi(r7, r7, 1)
+	b.Label("skip")
+	b.Addi(r3, r3, 8)
+	b.Addi(r4, r4, -1)
+	b.Bne(r4, r0, "gate")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "pass")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// h264ref: 350 SAD evaluations of an 8x8 block against a 128x128
+// reference frame at LCG-chosen positions.
+func buildH264ref() *program.Program {
+	b := program.NewBuilder("h264ref")
+	emitConsts(b)
+	emitFillWords(b, "fillref", baseA, 16384, 0x9E3779B9, 24, 255)
+	emitFillWords(b, "fillcur", baseB, 64, 0x7F4A7C15, 24, 255)
+	b.Li(r16, baseA)
+	b.Li(rSeed, 0xFACE)
+	b.Li(rTrip, 350)
+	b.Li(r19, 1<<30) // best SAD
+	b.Label("main")
+	b.Label("cand")
+	emitLCG(b, rSeed)
+	b.Shri(r6, rSeed, 20)
+	b.Andi(r6, r6, 63) // px
+	b.Shri(r7, rSeed, 30)
+	b.Andi(r7, r7, 63) // py
+	b.Shli(r8, r7, 7)
+	b.Add(r8, r8, r6)
+	b.Shli(r8, r8, 3)
+	b.Add(r8, r16, r8) // ref pointer
+	b.Li(r9, 0)        // sad
+	b.Li(r10, baseB)   // cur pointer
+	b.Li(r11, 8)       // rows
+	b.Label("sadrow")
+	b.Li(r12, 8) // cols
+	b.Label("sadcol")
+	b.Ld(r13, r8, 0)
+	b.Ld(r14, r10, 0)
+	b.Sub(r15, r13, r14)
+	emitAbs(b, r15, r15, r17)
+	b.Add(r9, r9, r15)
+	b.Addi(r8, r8, 8)
+	b.Addi(r10, r10, 8)
+	b.Addi(r12, r12, -1)
+	b.Bne(r12, r0, "sadcol")
+	b.Addi(r8, r8, (128-8)*8)
+	b.Addi(r11, r11, -1)
+	b.Bne(r11, r0, "sadrow")
+	b.Slt(r13, r9, r19)
+	b.Beq(r13, r0, "worse")
+	b.Mov(r19, r9)
+	b.Label("worse")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "cand")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// omnetpp: 4500 calendar-queue insertions with a branchy 64-slot
+// bucket scan every eighth event.
+func buildOmnetpp() *program.Program {
+	b := program.NewBuilder("omnetpp")
+	emitConsts(b)
+	b.Li(r16, baseB) // bucket slots: 256 buckets x 64 words
+	b.Li(r17, baseC) // bucket counts
+	b.Li(rSeed, 0xFEED)
+	b.Li(rTrip, 4500)
+	b.Label("main")
+	b.Label("event")
+	emitLCG(b, rSeed)
+	b.Shri(r3, rSeed, 16)
+	b.Andi(r3, r3, 0xFFFF) // event time
+	b.Andi(r4, r3, 255)    // bucket
+	b.Shli(r5, r4, 3)
+	b.Add(r5, r17, r5)
+	b.Ld(r6, r5, 0) // count
+	b.Andi(r7, r6, 63)
+	b.Shli(r8, r4, 6)
+	b.Add(r8, r8, r7)
+	b.Shli(r8, r8, 3)
+	b.Add(r8, r16, r8)
+	b.St(r3, r8, 0) // place event
+	b.Addi(r6, r6, 1)
+	b.St(r6, r5, 0)
+	b.Andi(r9, rSeed, 7)
+	b.Bne(r9, r0, "noscan")
+	// Scan the bucket for its minimum.
+	b.Shli(r10, r4, 9)
+	b.Add(r10, r16, r10)
+	b.Li(r11, 64)
+	b.Li(r12, 1<<30)
+	b.Label("scan")
+	b.Ld(r13, r10, 0)
+	b.Slt(r14, r13, r12)
+	b.Beq(r14, r0, "nomin")
+	b.Mov(r12, r13)
+	b.Label("nomin")
+	b.Addi(r10, r10, 8)
+	b.Addi(r11, r11, -1)
+	b.Bne(r11, r0, "scan")
+	b.Label("noscan")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "event")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// astar: greedy walk over a 256x256 cost grid, branching on the
+// cheapest of four neighbours each step.
+func buildAstar() *program.Program {
+	b := program.NewBuilder("astar")
+	emitConsts(b)
+	emitFillWords(b, "fill", baseA, 65536, 0x41C64E6D, 20, 7)
+	b.Li(r16, baseA)
+	b.Li(r3, 128) // row
+	b.Li(r4, 128) // col
+	b.Li(rSeed, 0xABCD)
+	b.Li(rTrip, 5500)
+	b.Label("main")
+	b.Label("step")
+	emitLCG(b, rSeed)
+	b.Li(r10, 1<<30) // best cost
+	b.Li(r11, 0)     // best direction
+	for i, d := range []struct{ dr, dc int64 }{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+		next := "dir" + string(rune('a'+i))
+		b.Addi(r5, r3, d.dr)
+		b.Andi(r5, r5, 255)
+		b.Addi(r6, r4, d.dc)
+		b.Andi(r6, r6, 255)
+		b.Shli(r7, r5, 8)
+		b.Add(r7, r7, r6)
+		b.Shli(r7, r7, 3)
+		b.Add(r7, r16, r7)
+		b.Ld(r8, r7, 0) // neighbour cost
+		// Tie-break with a seed bit so walks do not cycle.
+		b.Shri(r9, rSeed, int64(11+i*7))
+		b.Andi(r9, r9, 3)
+		b.Add(r8, r8, r9)
+		b.Slt(r9, r8, r10)
+		b.Beq(r9, r0, next)
+		b.Mov(r10, r8)
+		b.Li(r11, int64(i))
+		b.Label(next)
+	}
+	// Move: decode the chosen direction with branches.
+	b.Slti(r12, r11, 2)
+	b.Beq(r12, r0, "horiz")
+	b.Shli(r13, r11, 1)
+	b.Addi(r13, r13, -1) // -1 or +1
+	b.Add(r3, r3, r13)
+	b.Andi(r3, r3, 255)
+	b.J("moved")
+	b.Label("horiz")
+	b.Addi(r13, r11, -2)
+	b.Shli(r13, r13, 1)
+	b.Addi(r13, r13, -1)
+	b.Add(r4, r4, r13)
+	b.Andi(r4, r4, 255)
+	b.Label("moved")
+	b.Add(r14, r14, r10) // path cost
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "step")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// xalancbmk: 900 depth-10 descents comparing 8-word tags with
+// early-exit loops against a probe tag.
+func buildXalancbmk() *program.Program {
+	b := program.NewBuilder("xalancbmk")
+	emitConsts(b)
+	emitFillWords(b, "filltags", baseA, 2048*8, 0x100001B3, 28, 15)
+	emitFillWords(b, "fillprobe", baseB, 8, 0xCBF29CE4, 28, 15)
+	b.Li(r16, baseA)
+	b.Li(r17, baseB)
+	b.Li(rSeed, 0xBEEF)
+	b.Li(rTrip, 900)
+	b.Label("main")
+	b.Label("walk")
+	emitLCG(b, rSeed)
+	b.Li(r3, 0)  // node index
+	b.Li(r4, 10) // depth
+	b.Label("level")
+	b.Andi(r5, r3, 2047)
+	b.Shli(r5, r5, 6) // node tag offset (8 words)
+	b.Add(r5, r16, r5)
+	b.Mov(r6, r17) // probe pointer
+	b.Li(r7, 8)    // words left
+	b.Label("cmp")
+	b.Ld(r8, r5, 0)
+	b.Ld(r9, r6, 0)
+	b.Bne(r8, r9, "mismatch")
+	b.Addi(r5, r5, 8)
+	b.Addi(r6, r6, 8)
+	b.Addi(r7, r7, -1)
+	b.Bne(r7, r0, "cmp")
+	b.Li(r10, 0) // full match: go left
+	b.J("descend")
+	b.Label("mismatch")
+	b.Slt(r10, r8, r9)
+	b.Label("descend")
+	b.Shli(r3, r3, 1)
+	b.Addi(r3, r3, 1)
+	b.Add(r3, r3, r10)
+	b.Addi(r4, r4, -1)
+	b.Bne(r4, r0, "level")
+	b.Addi(rTrip, rTrip, -1)
+	b.Bne(rTrip, r0, "walk")
+	b.Halt()
+	return b.MustBuild()
+}

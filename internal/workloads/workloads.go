@@ -1,0 +1,114 @@
+// Package workloads provides the benchmark suite: 29 synthetic kernels
+// written in the program IR, one per SPEC CPU2006 benchmark the Fg-STP
+// evaluation used. Each kernel reproduces the dynamic *character* of
+// its namesake — operation mix, branch behaviour, memory footprint and
+// dependence topology — which is what the partitioning hardware keys
+// on. They are real programs: their traces carry true register and
+// memory dependences. See DESIGN.md for the substitution rationale.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Workload is one benchmark: a named program plus the capture window
+// that skips its initialisation phase.
+type Workload struct {
+	// Name is the SPEC-2006 benchmark the kernel mimics.
+	Name string
+	// Suite is "int" or "fp".
+	Suite string
+	// Description says what the kernel computes and which property of
+	// the namesake it reproduces.
+	Description string
+	// Build constructs the program. Every kernel labels the start of
+	// its timed region "main"; everything before it (data-structure
+	// construction) is skipped when tracing, analogous to
+	// fast-forwarding past benchmark setup.
+	Build func() *program.Program
+}
+
+var registry = struct {
+	sync.Mutex
+	byName map[string]Workload
+	order  []string
+	progs  map[string]*program.Program
+}{
+	byName: make(map[string]Workload),
+	progs:  make(map[string]*program.Program),
+}
+
+func register(w Workload) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[w.Name]; dup {
+		panic(fmt.Sprintf("workload %q registered twice", w.Name))
+	}
+	registry.byName[w.Name] = w
+	registry.order = append(registry.order, w.Name)
+}
+
+// All returns every workload in registration (suite) order.
+func All() []Workload {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Workload, 0, len(registry.order))
+	for _, n := range registry.order {
+		out = append(out, registry.byName[n])
+	}
+	return out
+}
+
+// Suite returns the workloads of one suite ("int" or "fp").
+func Suite(suite string) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Suite == suite {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName looks a workload up.
+func ByName(name string) (Workload, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	w, ok := registry.byName[name]
+	return w, ok
+}
+
+// Program returns the workload's built program, memoised: kernels are
+// deterministic so one build serves all traces.
+func (w Workload) Program() *program.Program {
+	registry.Lock()
+	defer registry.Unlock()
+	if p, ok := registry.progs[w.Name]; ok {
+		return p
+	}
+	p := w.Build()
+	registry.progs[w.Name] = p
+	return p
+}
+
+// Trace captures max dynamic instructions of the workload's timed
+// region (from the "main" label, after initialisation).
+func (w Workload) Trace(max uint64) *trace.Trace {
+	return trace.CaptureFromLabel(w.Program(), "main", max)
+}
