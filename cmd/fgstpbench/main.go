@@ -3,6 +3,11 @@
 // figure of the paper as reconstructed in DESIGN.md; EXPERIMENTS.md
 // records the measured results against the paper's reported shape.
 //
+// Experiments fan their independent simulations out over a worker pool
+// (internal/sched); -jobs sets the worker count. Results are
+// byte-identical for any -jobs value, so stdout can be diffed between
+// serial and parallel runs — wall-time reporting goes to stderr.
+//
 // Usage:
 //
 //	fgstpbench -experiment E2          # one experiment
@@ -10,6 +15,7 @@
 //	fgstpbench -experiment E11         # extension: energy model
 //	fgstpbench -experiment E12         # extension: adaptive reconfiguration
 //	fgstpbench -insts 50000            # per-run instruction budget
+//	fgstpbench -jobs 8                 # worker goroutines (default GOMAXPROCS)
 //	fgstpbench -list                   # enumerate experiments
 package main
 
@@ -20,12 +26,14 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 func main() {
 	var (
 		exp   = flag.String("experiment", "all", "experiment id (E1..E10) or \"all\"")
 		insts = flag.Uint64("insts", 100_000, "dynamic instructions per simulation")
+		jobs  = flag.Int("jobs", 0, "worker goroutines for simulation fan-out (<= 0: GOMAXPROCS)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -44,14 +52,24 @@ func main() {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
+
+	// One session across all experiments: the single-flight caches
+	// capture each workload trace and baseline run once for the whole
+	// invocation instead of once per experiment.
+	session := experiments.NewSession(*insts, *jobs)
+	fmt.Fprintf(os.Stderr, "fgstpbench: %d worker(s)\n", sched.Workers(*jobs))
+	total := time.Now()
 	for _, id := range ids {
 		start := time.Now()
-		res, err := experiments.Run(id, *insts)
+		res, err := session.Run(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgstpbench:", err)
 			os.Exit(1)
 		}
 		fmt.Print(res.String())
-		fmt.Printf("   (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "fgstpbench: %s in %.2fs\n", id, time.Since(start).Seconds())
 	}
+	fmt.Fprintf(os.Stderr, "fgstpbench: total %.2fs (%d experiment(s), -jobs %d)\n",
+		time.Since(total).Seconds(), len(ids), sched.Workers(*jobs))
 }

@@ -9,6 +9,8 @@
 //	-machine  name   machine preset: small | medium (default medium)
 //	-mode     name   single | corefusion | fgstp | all (default all)
 //	-insts    n      dynamic instructions to simulate (default 100000)
+//	-jobs     n      worker goroutines when running several modes
+//	                 (default GOMAXPROCS; output is identical for any n)
 //	-config   file   JSON machine config overriding -machine
 //	-savetrace file  capture the workload trace to a file and exit
 //	-loadtrace file  replay a previously saved trace
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/cmp"
 	"repro/internal/config"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -35,6 +38,7 @@ func main() {
 		machine    = flag.String("machine", "medium", "machine preset: small | medium")
 		mode       = flag.String("mode", "all", "execution mode: single | corefusion | fgstp | all")
 		insts      = flag.Uint64("insts", 100_000, "dynamic instructions to simulate")
+		jobs       = flag.Int("jobs", 0, "worker goroutines when running several modes (<= 0: GOMAXPROCS)")
 		configPath = flag.String("config", "", "JSON machine configuration file")
 		dumpConfig = flag.Bool("dumpconfig", false, "print the machine preset as JSON and exit")
 		list       = flag.Bool("list", false, "list workloads and exit")
@@ -99,14 +103,19 @@ func main() {
 		modes = []cmp.Mode{md}
 	}
 
-	var runs []stats.Run
-	for _, md := range modes {
-		r, err := cmp.Run(m, md, tr)
-		if err != nil {
-			fatal(err)
-		}
-		runs = append(runs, r)
-		printRun(&r)
+	// The modes are independent simulations over the same read-only
+	// trace: fan them out over the pool. Results come back in
+	// submission order, so the report reads identically for any -jobs.
+	jl := make([]sched.Job, len(modes))
+	for i, md := range modes {
+		jl[i] = sched.Job{Machine: m, Mode: md, Trace: tr, Tag: string(md)}
+	}
+	runs, err := sched.RunJobs(*jobs, jl)
+	if err != nil {
+		fatal(err)
+	}
+	for i := range runs {
+		printRun(&runs[i])
 	}
 	if len(runs) > 1 {
 		fmt.Println("speedups:")

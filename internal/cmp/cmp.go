@@ -78,15 +78,39 @@ func RunWorkload(m config.Machine, mode Mode, workload string, insts uint64) (st
 	return Run(m, mode, tr)
 }
 
-// RunAll runs tr in every mode and returns the results keyed by mode.
-func RunAll(m config.Machine, tr *trace.Trace) (map[Mode]stats.Run, error) {
-	out := make(map[Mode]stats.Run, 3)
+// ModeResult pairs an execution mode with its run summary.
+type ModeResult struct {
+	Mode Mode
+	Run  stats.Run
+}
+
+// RunModes runs tr in every execution mode and returns the results in
+// Modes() comparison order — the deterministic form of RunAll for
+// callers that iterate rather than index.
+func RunModes(m config.Machine, tr *trace.Trace) ([]ModeResult, error) {
+	out := make([]ModeResult, 0, len(Modes()))
 	for _, mode := range Modes() {
 		r, err := Run(m, mode, tr)
 		if err != nil {
 			return nil, fmt.Errorf("mode %s: %w", mode, err)
 		}
-		out[mode] = r
+		out = append(out, ModeResult{Mode: mode, Run: r})
+	}
+	return out, nil
+}
+
+// RunAll runs tr in every mode and returns the results keyed by mode.
+// Map iteration order is random: callers producing ordered output must
+// index by mode (or use RunModes, which returns results in comparison
+// order).
+func RunAll(m config.Machine, tr *trace.Trace) (map[Mode]stats.Run, error) {
+	ordered, err := RunModes(m, tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Mode]stats.Run, len(ordered))
+	for _, mr := range ordered {
+		out[mr.Mode] = mr.Run
 	}
 	return out, nil
 }

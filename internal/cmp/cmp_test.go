@@ -129,3 +129,45 @@ func TestSingleModeIgnoresFabric(t *testing.T) {
 		t.Errorf("single-core cycles differ with fabric config: %d vs %d", ra.Cycles, rb.Cycles)
 	}
 }
+
+// TestRunModesOrdering checks RunModes returns results in Modes()
+// comparison order and that RunAll agrees with it mode by mode —
+// callers of RunAll must index the map (iteration order is random),
+// and this pins the ordered path they should use for output.
+func TestRunModesOrdering(t *testing.T) {
+	w, _ := workloads.ByName("astar")
+	tr := w.Trace(2_000)
+	m := config.Small()
+	ordered, err := RunModes(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ordered) != len(Modes()) {
+		t.Fatalf("RunModes returned %d results", len(ordered))
+	}
+	for i, mode := range Modes() {
+		if ordered[i].Mode != mode {
+			t.Errorf("ordered[%d].Mode = %s, want %s", i, ordered[i].Mode, mode)
+		}
+		if ordered[i].Run.Mode != string(mode) {
+			t.Errorf("ordered[%d].Run.Mode = %q", i, ordered[i].Run.Mode)
+		}
+	}
+	all, err := RunAll(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Modes()) {
+		t.Fatalf("RunAll returned %d results", len(all))
+	}
+	for _, mr := range ordered {
+		got, ok := all[mr.Mode]
+		if !ok {
+			t.Fatalf("RunAll missing mode %s", mr.Mode)
+		}
+		if got.Cycles != mr.Run.Cycles || got.Insts != mr.Run.Insts {
+			t.Errorf("mode %s: RunAll (%d cyc) != RunModes (%d cyc)",
+				mr.Mode, got.Cycles, mr.Run.Cycles)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cmp"
 	"repro/internal/config"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -63,46 +64,116 @@ func (r *Result) String() string {
 	return out
 }
 
-// runner bundles the common parameters of an experiment run.
+// runner bundles the common parameters of an experiment run: the
+// per-simulation instruction budget, the worker count the job lists fan
+// out over, and the session-wide single-flight caches.
 type runner struct {
-	insts  uint64
-	traces map[string]*trace.Trace
-	// singles caches single-core runs (keyed machine/workload): the
-	// sensitivity sweeps mutate only the Fg-STP fabric, so the single
-	// baseline is invariant.
-	singles map[string]stats.Run
+	insts uint64
+	// jobs is the worker count for sched.Map fan-out (<= 0 picks
+	// GOMAXPROCS).
+	jobs int
+	// traces caches captured workload traces. Single-flight: under the
+	// pool, the first job to ask captures while the rest wait, so each
+	// workload is captured exactly once per session.
+	traces sched.Cache[string, *trace.Trace]
+	// singles caches single-core runs and fusions caches Core Fusion
+	// runs, both keyed machine/workload. The sensitivity sweeps and
+	// ablations mutate only the Fg-STP fabric of a preset, so both
+	// baselines are invariant across every experiment of a session;
+	// any new experiment that mutates Core, Hier or Fusion must also
+	// rename the machine.
+	singles sched.Cache[string, stats.Run]
+	fusions sched.Cache[string, stats.Run]
 }
 
-func newRunner(insts uint64) *runner {
-	return &runner{
-		insts:   insts,
-		traces:  make(map[string]*trace.Trace),
-		singles: make(map[string]stats.Run),
-	}
+func newRunner(insts uint64, jobs int) *runner {
+	return &runner{insts: insts, jobs: jobs}
 }
 
-// singleOf runs (and memoises) the single-core baseline.
+// singleOf runs (and memoises, single-flight) the single-core baseline.
 func (r *runner) singleOf(m config.Machine, w workloads.Workload) (stats.Run, error) {
-	key := m.Name + "/" + w.Name
-	if s, ok := r.singles[key]; ok {
-		return s, nil
-	}
-	s, err := cmp.Run(m, cmp.ModeSingle, r.traceOf(w))
-	if err != nil {
-		return stats.Run{}, err
-	}
-	r.singles[key] = s
-	return s, nil
+	return r.singles.Do(m.Name+"/"+w.Name, func() (stats.Run, error) {
+		return cmp.Run(m, cmp.ModeSingle, r.traceOf(w))
+	})
 }
 
-// traceOf captures (and memoises) a workload trace.
+// fusionOf runs (and memoises, single-flight) the Core Fusion baseline.
+func (r *runner) fusionOf(m config.Machine, w workloads.Workload) (stats.Run, error) {
+	return r.fusions.Do(m.Name+"/"+w.Name, func() (stats.Run, error) {
+		return cmp.Run(m, cmp.ModeFusion, r.traceOf(w))
+	})
+}
+
+// traceOf captures (and memoises, single-flight) a workload trace.
+// Traces are immutable after capture (see internal/trace), so the
+// shared pointer is safe to replay on any number of concurrent
+// machines.
 func (r *runner) traceOf(w workloads.Workload) *trace.Trace {
-	if t, ok := r.traces[w.Name]; ok {
-		return t
-	}
-	t := w.Trace(r.insts)
-	r.traces[w.Name] = t
+	t, _ := r.traces.Do(w.Name, func() (*trace.Trace, error) {
+		return w.Trace(r.insts), nil
+	})
 	return t
+}
+
+// runOf dispatches one (machine, mode, workload) simulation through
+// the baseline caches where the mode allows it.
+func (r *runner) runOf(m config.Machine, mode cmp.Mode, w workloads.Workload) (stats.Run, error) {
+	switch mode {
+	case cmp.ModeSingle:
+		return r.singleOf(m, w)
+	case cmp.ModeFusion:
+		return r.fusionOf(m, w)
+	default:
+		return cmp.Run(m, mode, r.traceOf(w))
+	}
+}
+
+// gridRuns fans the (workload × mode) simulation grid out over the
+// pool and returns, per workload in the given order, the runs keyed by
+// mode.
+func (r *runner) gridRuns(m config.Machine, ws []workloads.Workload, modes []cmp.Mode) ([]map[cmp.Mode]stats.Run, error) {
+	type cell struct {
+		w    workloads.Workload
+		mode cmp.Mode
+	}
+	cells := make([]cell, 0, len(ws)*len(modes))
+	for _, w := range ws {
+		for _, mode := range modes {
+			cells = append(cells, cell{w, mode})
+		}
+	}
+	flat, err := sched.Map(r.jobs, cells, func(c cell) (stats.Run, error) {
+		return r.runOf(m, c.mode, c.w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[cmp.Mode]stats.Run, len(ws))
+	for i := range ws {
+		out[i] = make(map[cmp.Mode]stats.Run, len(modes))
+		for j, mode := range modes {
+			out[i][mode] = flat[i*len(modes)+j]
+		}
+	}
+	return out, nil
+}
+
+// speedupsOf fans out one (single, fgstp) pair per workload and
+// returns each workload's Fg-STP speedup over the single core, in
+// workload order — the common shape of the ablation and every
+// sensitivity sweep.
+func (r *runner) speedupsOf(m config.Machine, ws []workloads.Workload) ([]float64, error) {
+	return sched.Map(r.jobs, ws, func(w workloads.Workload) (float64, error) {
+		s, err := r.singleOf(m, w)
+		if err != nil {
+			return 0, err
+		}
+		g, err := cmp.Run(m, cmp.ModeFgSTP, r.traceOf(w))
+		if err != nil {
+			return 0, err
+		}
+		return stats.Speedup(&s, &g), nil
+	})
 }
 
 // IDs lists the paper-reconstruction experiment identifiers in order.
@@ -115,13 +186,38 @@ func IDs() []string {
 // ExtensionIDs lists the extension experiments.
 func ExtensionIDs() []string { return []string{"E11", "E12"} }
 
-// Run executes one experiment with the given per-run instruction
-// budget (0 picks the default of 100k).
-func Run(id string, insts uint64) (*Result, error) {
+// Session runs experiments with shared single-flight caches: across an
+// `-experiment all` run each workload trace is captured once and each
+// single-core / Core Fusion baseline simulated once, no matter how many
+// experiments (or concurrent jobs within one) ask for it. Sessions are
+// safe for use from one goroutine at a time; the parallelism lives in
+// the per-experiment job lists, which fan out over the session's worker
+// count.
+type Session struct {
+	r *runner
+}
+
+// NewSession creates a session with the given per-simulation
+// instruction budget (0 picks the default of 100k) and worker count
+// (<= 0 picks GOMAXPROCS).
+func NewSession(insts uint64, jobs int) *Session {
 	if insts == 0 {
 		insts = 100_000
 	}
-	r := newRunner(insts)
+	return &Session{r: newRunner(insts, jobs)}
+}
+
+// Run executes one experiment with the given per-run instruction
+// budget (0 picks the default of 100k), fanning its job list out over
+// GOMAXPROCS workers. Results are independent of worker count. Use a
+// Session to share trace and baseline caches across experiments.
+func Run(id string, insts uint64) (*Result, error) {
+	return NewSession(insts, 0).Run(id)
+}
+
+// Run executes one experiment on the session.
+func (s *Session) Run(id string) (*Result, error) {
+	r := s.r
 	switch id {
 	case "E1":
 		return r.e1()
@@ -219,15 +315,18 @@ func (r *runner) speedupFigure(id string, m config.Machine) (*Result, error) {
 		fmt.Sprintf("IPC and speedup over single core (%s, %d insts/run)", m.Name, r.insts),
 		"benchmark", "suite", "single", "corefusion", "fgstp", "fusion/single", "fgstp/single", "fgstp/fusion")
 
+	// Job list: every workload in every mode, fanned out over the
+	// pool; results come back in submission order so the aggregation
+	// below is byte-identical to the serial loop it replaced.
+	ws := workloads.All()
+	runs, err := r.gridRuns(m, ws, cmp.Modes())
+	if err != nil {
+		return nil, err
+	}
 	var spS, spF []float64
 	var spSInt, spSFp []float64
-	for _, w := range workloads.All() {
-		tr := r.traceOf(w)
-		runs, err := cmp.RunAll(m, tr)
-		if err != nil {
-			return nil, err
-		}
-		s, f, g := runs[cmp.ModeSingle], runs[cmp.ModeFusion], runs[cmp.ModeFgSTP]
+	for i, w := range ws {
+		s, f, g := runs[i][cmp.ModeSingle], runs[i][cmp.ModeFusion], runs[i][cmp.ModeFgSTP]
 		gs := stats.Speedup(&s, &g)
 		gf := stats.Speedup(&f, &g)
 		spS = append(spS, gs)
@@ -272,23 +371,41 @@ func (r *runner) e4() (*Result, error) {
 	}
 	tb := stats.NewTable("Geomean speedup over single core",
 		"variant", "geomean", "vs full")
-	var full float64
-	for _, v := range variants {
+	// One job list spans every (variant × workload) pair; the shared
+	// single-core baseline (the variants mutate only the Fg-STP
+	// fabric) is computed once via the single-flight cache.
+	ws := workloads.All()
+	type cell struct {
+		vi int
+		w  workloads.Workload
+	}
+	machines := make([]config.Machine, len(variants))
+	cells := make([]cell, 0, len(variants)*len(ws))
+	for i, v := range variants {
 		m := config.Medium()
 		v.mutate(&m)
-		var sp []float64
-		for _, w := range workloads.All() {
-			s, err := r.singleOf(m, w)
-			if err != nil {
-				return nil, err
-			}
-			g, err := cmp.Run(m, cmp.ModeFgSTP, r.traceOf(w))
-			if err != nil {
-				return nil, err
-			}
-			sp = append(sp, stats.Speedup(&s, &g))
+		machines[i] = m
+		for _, w := range ws {
+			cells = append(cells, cell{i, w})
 		}
-		gm := stats.Geomean(sp)
+	}
+	sp, err := sched.Map(r.jobs, cells, func(c cell) (float64, error) {
+		s, err := r.singleOf(machines[c.vi], c.w)
+		if err != nil {
+			return 0, err
+		}
+		g, err := cmp.Run(machines[c.vi], cmp.ModeFgSTP, r.traceOf(c.w))
+		if err != nil {
+			return 0, err
+		}
+		return stats.Speedup(&s, &g), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var full float64
+	for i, v := range variants {
+		gm := stats.Geomean(sp[i*len(ws) : (i+1)*len(ws)])
 		if v.name == "full" {
 			full = gm
 		}
@@ -422,15 +539,24 @@ func (r *runner) e8() (*Result, error) {
 		"benchmark", "core1 frac", "replicated", "remote deps", "comm/kinst",
 		"squash/kinst", "bpred acc")
 	m := config.Medium()
-	var balSum, replSum, commSum float64
-	n := 0
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	type row struct {
+		g     stats.Run
+		insts int
+	}
+	rows, err := sched.Map(r.jobs, ws, func(w workloads.Workload) (row, error) {
 		tr := r.traceOf(w)
 		g, err := cmp.Run(m, cmp.ModeFgSTP, tr)
-		if err != nil {
-			return nil, err
-		}
-		sq := g.Get("squashes") / float64(tr.Len()) * 1000
+		return row{g, tr.Len()}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var balSum, replSum, commSum float64
+	n := 0
+	for i, w := range ws {
+		g := rows[i].g
+		sq := g.Get("squashes") / float64(rows[i].insts) * 1000
 		tb.AddRowf(w.Name, g.Get("steer_core1_frac"), g.Get("replicated_frac"),
 			g.Get("remote_dep_frac"), g.Get("comm_per_kinst"), sq,
 			g.Get("bpred_accuracy"))
@@ -492,14 +618,14 @@ func (r *runner) e10() (*Result, error) {
 		"machine", "suite", "fgstp/single", "fgstp/fusion")
 	for _, m := range []config.Machine{config.Small(), config.Medium()} {
 		for _, suite := range []string{"int", "fp"} {
+			ws := workloads.Suite(suite)
+			runs, err := r.gridRuns(m, ws, cmp.Modes())
+			if err != nil {
+				return nil, err
+			}
 			var spS, spF []float64
-			for _, w := range workloads.Suite(suite) {
-				tr := r.traceOf(w)
-				runs, err := cmp.RunAll(m, tr)
-				if err != nil {
-					return nil, err
-				}
-				s, f, g := runs[cmp.ModeSingle], runs[cmp.ModeFusion], runs[cmp.ModeFgSTP]
+			for i := range ws {
+				s, f, g := runs[i][cmp.ModeSingle], runs[i][cmp.ModeFusion], runs[i][cmp.ModeFgSTP]
 				spS = append(spS, stats.Speedup(&s, &g))
 				spF = append(spF, stats.Speedup(&f, &g))
 			}
@@ -513,19 +639,12 @@ func (r *runner) e10() (*Result, error) {
 }
 
 // fgstpGeomean runs every workload in single and fgstp mode on machine
-// m and returns the geomean speedup.
+// m (one job per workload, fanned out over the pool) and returns the
+// geomean speedup.
 func (r *runner) fgstpGeomean(m config.Machine) (float64, error) {
-	var sp []float64
-	for _, w := range workloads.All() {
-		s, err := r.singleOf(m, w)
-		if err != nil {
-			return 0, err
-		}
-		g, err := cmp.Run(m, cmp.ModeFgSTP, r.traceOf(w))
-		if err != nil {
-			return 0, err
-		}
-		sp = append(sp, stats.Speedup(&s, &g))
+	sp, err := r.speedupsOf(m, workloads.All())
+	if err != nil {
+		return 0, err
 	}
 	return stats.Geomean(sp), nil
 }

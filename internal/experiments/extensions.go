@@ -7,6 +7,7 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -31,37 +32,54 @@ func (r *runner) e11() (*Result, error) {
 	weights := energy.Default()
 	tb := stats.NewTable("Geomean ratios vs the single core",
 		"mode", "speedup", "energy ratio", "EDP gain")
-	type acc struct{ sp, en, edp []float64 }
-	sums := map[cmp.Mode]*acc{cmp.ModeFusion: {}, cmp.ModeFgSTP: {}}
-	for _, w := range workloads.All() {
-		tr := r.traceOf(w)
-		runs, err := cmp.RunAll(m, tr)
-		if err != nil {
-			return nil, err
+	compared := []cmp.Mode{cmp.ModeFusion, cmp.ModeFgSTP}
+	ws := workloads.All()
+	// One job per workload: each simulates all three modes (through the
+	// session's baseline caches) and reduces them to the per-mode
+	// energy comparisons, which aggregate below in workload order.
+	type row struct {
+		c map[cmp.Mode]energy.Compare
+	}
+	rows, err := sched.Map(r.jobs, ws, func(w workloads.Workload) (row, error) {
+		runs := make(map[cmp.Mode]stats.Run, len(cmp.Modes()))
+		for _, mode := range cmp.Modes() {
+			run, err := r.runOf(m, mode, w)
+			if err != nil {
+				return row{}, err
+			}
+			runs[mode] = run
 		}
 		single := runs[cmp.ModeSingle]
 		baseB, err := energy.Estimate(&single, weights)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		for mode, a := range sums {
+		out := row{c: make(map[cmp.Mode]energy.Compare, len(compared))}
+		for _, mode := range compared {
 			run := runs[mode]
 			b, err := energy.Estimate(&run, weights)
 			if err != nil {
-				return nil, err
+				return row{}, err
 			}
-			c := energy.Against(&single, baseB, &run, b)
-			a.sp = append(a.sp, c.Speedup)
-			a.en = append(a.en, c.EnergyRatio)
-			a.edp = append(a.edp, c.EDPGain)
+			out.c[mode] = energy.Against(&single, baseB, &run, b)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, mode := range []cmp.Mode{cmp.ModeFusion, cmp.ModeFgSTP} {
-		a := sums[mode]
-		tb.AddRowf(string(mode), stats.Geomean(a.sp), stats.Geomean(a.en),
-			stats.Geomean(a.edp))
-		res.metric(string(mode)+"_energy_ratio", stats.Geomean(a.en))
-		res.metric(string(mode)+"_edp_gain", stats.Geomean(a.edp))
+	for _, mode := range compared {
+		var sp, en, edp []float64
+		for _, rw := range rows {
+			c := rw.c[mode]
+			sp = append(sp, c.Speedup)
+			en = append(en, c.EnergyRatio)
+			edp = append(edp, c.EDPGain)
+		}
+		tb.AddRowf(string(mode), stats.Geomean(sp), stats.Geomean(en),
+			stats.Geomean(edp))
+		res.metric(string(mode)+"_energy_ratio", stats.Geomean(en))
+		res.metric(string(mode)+"_edp_gain", stats.Geomean(edp))
 	}
 	res.Tables = append(res.Tables, tb)
 	return res, nil
@@ -89,18 +107,23 @@ func (r *runner) e12() (*Result, error) {
 		fmt.Sprintf("IPC by policy (%d-inst phases, %d-cycle switch)",
 			cfg.PhaseInsts, cfg.SwitchPenalty),
 		"workload", "single", "fgstp", "history", "oracle")
-	type gm struct{ s, f, h, o []float64 }
-	var g gm
-	for _, name := range subset {
+	// One job per workload; each policy comparison is itself many
+	// phase-level simulations, so the subset fans out well.
+	policies, err := sched.Map(r.jobs, subset, func(name string) (map[adaptive.Policy]adaptive.Result, error) {
 		w, ok := workloads.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown workload %q", name)
 		}
-		tr := r.traceOf(w)
-		_, results, err := adaptive.Compare(m, tr, cfg)
-		if err != nil {
-			return nil, err
-		}
+		_, results, err := adaptive.Compare(m, r.traceOf(w), cfg)
+		return results, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	type gm struct{ s, f, h, o []float64 }
+	var g gm
+	for i, name := range subset {
+		results := policies[i]
 		rs := results[adaptive.PolicyAlwaysSingle]
 		rf := results[adaptive.PolicyAlwaysFgSTP]
 		rh := results[adaptive.PolicyHistory]

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// determinismInsts is deliberately small: each checked experiment runs
+// twice (serial and 8-way parallel), and the suite also runs under
+// -race.
+const determinismInsts = 2_000
+
+// TestJobsDeterminism checks the harness determinism guarantee: an
+// experiment's rendered output is byte-identical between a serial run
+// and a parallel run, because job results aggregate in submission
+// order. E2 covers the full workload × mode grid, E4 the shared
+// single-core baseline under concurrent variants, E5 the sweep path.
+func TestJobsDeterminism(t *testing.T) {
+	for _, id := range []string{"E2", "E4", "E5"} {
+		serial, err := NewSession(determinismInsts, 1).Run(id)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		parallel, err := NewSession(determinismInsts, 8).Run(id)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if s, p := serial.String(), parallel.String(); s != p {
+			t.Errorf("%s: -jobs 1 and -jobs 8 outputs differ:\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+		}
+	}
+}
+
+// TestSessionCachesShared checks that one session reuses traces and
+// baselines across experiments: after E2 ran the medium grid, E4 on
+// the same session must not re-capture any trace.
+func TestSessionCachesShared(t *testing.T) {
+	s := NewSession(determinismInsts, 0)
+	if _, err := s.Run("E2"); err != nil {
+		t.Fatal(err)
+	}
+	captured := s.r.traces.Len()
+	if captured == 0 {
+		t.Fatal("E2 captured no traces")
+	}
+	if _, err := s.Run("E4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.r.traces.Len(); got != captured {
+		t.Errorf("E4 grew the trace cache %d -> %d; want reuse", captured, got)
+	}
+	if s.r.singles.Len() == 0 {
+		t.Error("single-core baseline cache empty after E2+E4")
+	}
+}

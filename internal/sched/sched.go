@@ -1,0 +1,132 @@
+// Package sched is the deterministic worker-pool scheduler of the
+// simulation harness. The Fg-STP evaluation is hundreds of independent
+// trace-driven simulations (workload × machine × mode × sweep point);
+// sched fans them out over GOMAXPROCS goroutines while keeping every
+// observable output byte-identical to a serial run:
+//
+//   - Results are collected in submission order, so tables and geomeans
+//     aggregate exactly as the serial loops did.
+//   - Each simulation is a pure function of (machine, mode, trace):
+//     traces are immutable after capture (see internal/trace) and every
+//     timing model allocates its own state per run, so concurrent jobs
+//     share nothing but read-only inputs.
+//   - On error, the failure at the lowest submission index is the one
+//     returned, and outstanding (not yet started) work is cancelled.
+//
+// Job is the concrete simulation unit; Map is the generic fan-out
+// primitive the experiment harness builds its job lists on; Cache is
+// the single-flight memoisation used to capture each workload trace and
+// single-core baseline exactly once per session, no matter how many
+// concurrent jobs ask for it.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Job describes one independent trace-driven simulation: the trace
+// replayed on machine Machine in execution mode Mode. The trace is
+// shared read-only between concurrent jobs.
+type Job struct {
+	Machine config.Machine
+	Mode    cmp.Mode
+	Trace   *trace.Trace
+	// Tag labels the job in error messages, e.g. "E2/mcf/fgstp".
+	Tag string
+}
+
+// Run executes the job and returns its run summary.
+func (j Job) Run() (stats.Run, error) {
+	r, err := cmp.Run(j.Machine, j.Mode, j.Trace)
+	if err != nil && j.Tag != "" {
+		return stats.Run{}, fmt.Errorf("%s: %w", j.Tag, err)
+	}
+	return r, err
+}
+
+// Workers resolves a jobs setting to a worker count: n > 0 is used as
+// given, anything else picks GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item on up to workers goroutines (workers
+// <= 0 picks GOMAXPROCS) and returns the results in submission order,
+// so downstream aggregation is byte-identical to a serial loop
+// regardless of worker count or completion order.
+//
+// On failure the error from the lowest-indexed failed item is returned
+// and outstanding work is cancelled: items not yet started are skipped,
+// items already in flight run to completion and their results are
+// discarded.
+func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	n := len(items)
+	out := make([]R, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := range items {
+			r, err := fn(items[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(items[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunJobs fans the job list out over workers (<= 0 picks GOMAXPROCS)
+// and returns the run summaries in submission order.
+func RunJobs(workers int, jobs []Job) ([]stats.Run, error) {
+	return Map(workers, jobs, Job.Run)
+}

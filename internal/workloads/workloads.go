@@ -37,10 +37,19 @@ var registry = struct {
 	sync.Mutex
 	byName map[string]Workload
 	order  []string
-	progs  map[string]*program.Program
+	progs  map[string]*progEntry
 }{
 	byName: make(map[string]Workload),
-	progs:  make(map[string]*program.Program),
+	progs:  make(map[string]*progEntry),
+}
+
+// progEntry single-flights one kernel build: the registry lock only
+// guards the map, so concurrent Program calls for different workloads
+// build in parallel while callers for the same workload share one
+// build.
+type progEntry struct {
+	once sync.Once
+	p    *program.Program
 }
 
 func register(w Workload) {
@@ -95,16 +104,19 @@ func ByName(name string) (Workload, bool) {
 }
 
 // Program returns the workload's built program, memoised: kernels are
-// deterministic so one build serves all traces.
+// deterministic so one build serves all traces. Safe for concurrent
+// use; the returned program is read-only shared state (executors keep
+// their own architectural state).
 func (w Workload) Program() *program.Program {
 	registry.Lock()
-	defer registry.Unlock()
-	if p, ok := registry.progs[w.Name]; ok {
-		return p
+	e, ok := registry.progs[w.Name]
+	if !ok {
+		e = &progEntry{}
+		registry.progs[w.Name] = e
 	}
-	p := w.Build()
-	registry.progs[w.Name] = p
-	return p
+	registry.Unlock()
+	e.once.Do(func() { e.p = w.Build() })
+	return e.p
 }
 
 // Trace captures max dynamic instructions of the workload's timed

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything a change must pass before it lands.
+#   go vet          static checks
+#   go build        whole-tree compile (commands and examples included)
+#   go test -race   unit + guard tests under the race detector; this is
+#                   what keeps the worker-pool harness honest — the
+#                   concurrent-modes guard test replays one shared trace
+#                   on every machine mode at once
+#   bench smoke     one iteration of the E2 benchmark, proving the
+#                   experiment harness end-to-end
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== bench smoke (E2, 1 iteration)"
+go test -run='^$' -bench=E2 -benchtime=1x .
+
+echo "check: ok"
