@@ -17,6 +17,15 @@
 //	fgstpbench -insts 50000            # per-run instruction budget
 //	fgstpbench -jobs 8                 # worker goroutines (default GOMAXPROCS)
 //	fgstpbench -list                   # enumerate experiments
+//	fgstpbench -inject mcf             # poison one workload (fault-injection demo)
+//
+// Failed simulation cells never abort the evaluation: they render as
+// FAIL(reason) in the tables, drop out of the geomeans (noted per
+// experiment), and the remaining experiments still run. Exit codes:
+//
+//	0  every simulation succeeded
+//	1  partial failure: some cells failed, the evaluation completed
+//	2  fatal: bad usage or setup (unknown experiment, invalid flags)
 package main
 
 import (
@@ -27,14 +36,16 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sched"
+	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "experiment id (E1..E10) or \"all\"")
-		insts = flag.Uint64("insts", 100_000, "dynamic instructions per simulation")
-		jobs  = flag.Int("jobs", 0, "worker goroutines for simulation fan-out (<= 0: GOMAXPROCS)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp    = flag.String("experiment", "all", "experiment id (E1..E10) or \"all\"")
+		insts  = flag.Uint64("insts", 100_000, "dynamic instructions per simulation")
+		jobs   = flag.Int("jobs", 0, "worker goroutines for simulation fan-out (<= 0: GOMAXPROCS)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		inject = flag.String("inject", "", "poison this workload: its Fg-STP runs get a stalled inter-core channel")
 	)
 	flag.Parse()
 
@@ -57,19 +68,33 @@ func main() {
 	// capture each workload trace and baseline run once for the whole
 	// invocation instead of once per experiment.
 	session := experiments.NewSession(*insts, *jobs)
+	if *inject != "" {
+		if _, ok := workloads.ByName(*inject); !ok {
+			fmt.Fprintf(os.Stderr, "fgstpbench: unknown workload %q for -inject\n", *inject)
+			os.Exit(2)
+		}
+		session.Poison(*inject)
+	}
 	fmt.Fprintf(os.Stderr, "fgstpbench: %d worker(s)\n", sched.Workers(*jobs))
 	total := time.Now()
+	failedCells := 0
 	for _, id := range ids {
 		start := time.Now()
 		res, err := session.Run(id)
 		if err != nil {
+			// Unknown experiment id: a usage error, not a degraded run.
 			fmt.Fprintln(os.Stderr, "fgstpbench:", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
+		failedCells += len(res.Failures)
 		fmt.Print(res.String())
 		fmt.Println()
 		fmt.Fprintf(os.Stderr, "fgstpbench: %s in %.2fs\n", id, time.Since(start).Seconds())
 	}
 	fmt.Fprintf(os.Stderr, "fgstpbench: total %.2fs (%d experiment(s), -jobs %d)\n",
 		time.Since(total).Seconds(), len(ids), sched.Workers(*jobs))
+	if failedCells > 0 {
+		fmt.Fprintf(os.Stderr, "fgstpbench: %d simulation cell(s) failed; see FAIL lines above\n", failedCells)
+		os.Exit(1)
+	}
 }

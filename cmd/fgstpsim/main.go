@@ -16,6 +16,16 @@
 //	-loadtrace file  replay a previously saved trace
 //	-dumpconfig      print the machine preset as JSON and exit
 //	-list            list workloads and exit
+//	-inject  fault   inject a fault: "livelock" stalls the Fg-STP
+//	                 inter-core channel from cycle 0
+//
+// A failed mode renders as a FAILED line; the other modes still
+// report. Exit codes:
+//
+//	0  every requested mode simulated successfully
+//	1  partial failure: at least one mode failed, the report completed
+//	2  fatal: bad usage or setup (unknown workload/mode, bad config or
+//	   trace file)
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 
 	"repro/internal/cmp"
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -44,6 +55,7 @@ func main() {
 		list       = flag.Bool("list", false, "list workloads and exit")
 		saveTrace  = flag.String("savetrace", "", "capture the workload trace to this file and exit")
 		loadTrace  = flag.String("loadtrace", "", "replay a trace file instead of capturing the workload")
+		inject     = flag.String("inject", "", "fault to inject: \"livelock\" stalls the Fg-STP inter-core channel")
 	)
 	flag.Parse()
 
@@ -103,27 +115,48 @@ func main() {
 		modes = []cmp.Mode{md}
 	}
 
+	switch *inject {
+	case "", "livelock":
+	default:
+		fatal(fmt.Errorf("unknown fault %q for -inject (want \"livelock\")", *inject))
+	}
+
 	// The modes are independent simulations over the same read-only
 	// trace: fan them out over the pool. Results come back in
 	// submission order, so the report reads identically for any -jobs.
+	// A failed mode reports FAILED without aborting its siblings.
 	jl := make([]sched.Job, len(modes))
 	for i, md := range modes {
 		jl[i] = sched.Job{Machine: m, Mode: md, Trace: tr, Tag: string(md)}
+		if *inject == "livelock" && md == cmp.ModeFgSTP {
+			jl[i].Faults = faults.ChannelStall(0)
+		}
 	}
-	runs, err := sched.RunJobs(*jobs, jl)
-	if err != nil {
-		fatal(err)
-	}
+	runs, errs := sched.RunJobsAll(*jobs, jl)
+	failed := 0
 	for i := range runs {
+		if errs[i] != nil {
+			fmt.Printf("[%s] FAILED: %v\n\n", modes[i], errs[i])
+			failed++
+			continue
+		}
 		printRun(&runs[i])
 	}
-	if len(runs) > 1 {
+	if len(runs) > 1 && errs[0] == nil {
 		fmt.Println("speedups:")
 		base := &runs[0]
 		for i := 1; i < len(runs); i++ {
+			if errs[i] != nil {
+				fmt.Printf("  %-12s over %-8s FAIL\n", modes[i], base.Mode)
+				continue
+			}
 			fmt.Printf("  %-12s over %-8s %.3fx\n",
 				runs[i].Mode, base.Mode, stats.Speedup(base, &runs[i]))
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fgstpsim: %d of %d mode(s) failed\n", failed, len(modes))
+		os.Exit(1)
 	}
 }
 
@@ -159,7 +192,9 @@ func printRun(r *stats.Run) {
 	fmt.Println()
 }
 
+// fatal reports a setup/usage error (exit 2 — distinct from exit 1,
+// which means the report completed with failed simulations).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fgstpsim:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

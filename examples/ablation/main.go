@@ -56,8 +56,14 @@ func main() {
 		v.mutate(&cfg)
 		// Use the Machine API directly so the steering internals are
 		// inspectable.
-		m := core.NewMachine(cfg, tr)
-		cycles := m.Drain()
+		m, err := core.NewMachine(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles, err := m.Drain()
+		if err != nil {
+			log.Fatal(err)
+		}
 		r := m.Summarize(cycles)
 		tb.AddRowf(v.name, r.IPC(), stats.Speedup(&single, &r),
 			r.Get("comm_per_kinst"), r.Get("replicated_frac"), r.Get("squashes"))

@@ -32,7 +32,10 @@ func main() {
 		log.Fatalf("unknown workload %q", *name)
 	}
 	tr := w.Trace(*insts)
-	m := core.NewMachine(config.Medium(), tr)
+	m, err := core.NewMachine(config.Medium(), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("workload %s — per-cycle issue activity (medium Fg-STP pair)\n", w.Name)
 	fmt.Printf("%6s  %-14s|%14s  %10s %8s\n", "cycle", "core 0 issue", "core 1 issue", "committed", "squash")

@@ -85,7 +85,10 @@ func main() {
 	}
 
 	// Partition view: how the Fg-STP steering unit splits the stream.
-	m := core.NewMachine(config.Medium(), tr)
+	m, err := core.NewMachine(config.Medium(), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nsteering of the first %d instructions (core 0 | core 1):\n", *steerN)
 	for i := 0; i < *steerN && i < tr.Len(); i++ {
 		home, replica := core.SteerDecision(m, uint64(i))

@@ -3,7 +3,7 @@ package bpred
 import "testing"
 
 func BenchmarkTournamentObserve(b *testing.B) {
-	p := New(Default())
+	p := mustNew(b, Default())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.ObserveBranch(uint64(i%512)*4+0x1000, i%3 != 0)
@@ -11,7 +11,7 @@ func BenchmarkTournamentObserve(b *testing.B) {
 }
 
 func BenchmarkBTBObserve(b *testing.B) {
-	p := New(Default())
+	p := mustNew(b, Default())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.ObserveIndirect(uint64(i%128)*4+0x2000, uint64(i%16)*64+0x8000)

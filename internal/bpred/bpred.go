@@ -104,11 +104,12 @@ type Predictor struct {
 	TgtMispredict uint64
 }
 
-// New builds a predictor; it panics on an invalid configuration (the
-// config packages validate presets before they get here).
-func New(cfg Config) *Predictor {
+// New builds a predictor; it reports an error on an invalid
+// configuration (the config packages validate presets before they get
+// here, but hand-edited JSON machines arrive unchecked).
+func New(cfg Config) (*Predictor, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	size := 1 << cfg.TableBits
 	p := &Predictor{
@@ -139,7 +140,7 @@ func New(cfg Config) *Predictor {
 	for i := range p.gshare {
 		p.gshare[i] = 2
 	}
-	return p
+	return p, nil
 }
 
 func (p *Predictor) index(pc uint64) int {

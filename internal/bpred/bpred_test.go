@@ -5,6 +5,16 @@ import (
 	"testing"
 )
 
+// mustNew builds a predictor from a config the test knows is valid.
+func mustNew(tb testing.TB, cfg Config) *Predictor {
+	tb.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	return p
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := Default()
 	if err := good.Validate(); err != nil {
@@ -45,7 +55,7 @@ func TestAlwaysTakenLearned(t *testing.T) {
 	for _, kind := range []string{"bimodal", "gshare", "tournament"} {
 		cfg := Default()
 		cfg.Kind = kind
-		p := New(cfg)
+		p := mustNew(t, cfg)
 		for i := 0; i < 1000; i++ {
 			p.ObserveBranch(0x1000, true)
 		}
@@ -61,7 +71,7 @@ func TestGshareBeatsBimodalOnAlternation(t *testing.T) {
 	run := func(kind string) float64 {
 		cfg := Default()
 		cfg.Kind = kind
-		p := New(cfg)
+		p := mustNew(t, cfg)
 		taken := false
 		for i := 0; i < 4000; i++ {
 			p.ObserveBranch(0x2000, taken)
@@ -86,7 +96,7 @@ func TestGshareBeatsBimodalOnAlternation(t *testing.T) {
 func TestTournamentAdapts(t *testing.T) {
 	cfg := Default()
 	cfg.Kind = "tournament"
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	// Phase 1: alternating branch (gshare-friendly).
 	taken := false
 	for i := 0; i < 4000; i++ {
@@ -101,7 +111,7 @@ func TestTournamentAdapts(t *testing.T) {
 
 func TestRandomBranchNearChance(t *testing.T) {
 	cfg := Default()
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 20000; i++ {
 		p.ObserveBranch(0x4000, rng.Intn(2) == 0)
@@ -115,7 +125,7 @@ func TestRandomBranchNearChance(t *testing.T) {
 func TestMultipleBranchesIndependent(t *testing.T) {
 	cfg := Default()
 	cfg.Kind = "bimodal"
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	// Two branches with opposite bias at different PCs must both be
 	// learned.
 	for i := 0; i < 1000; i++ {
@@ -128,7 +138,7 @@ func TestMultipleBranchesIndependent(t *testing.T) {
 }
 
 func TestBTBLearnsTargets(t *testing.T) {
-	p := New(Default())
+	p := mustNew(t, Default())
 	// First observation must miss, subsequent ones hit.
 	if p.ObserveIndirect(0x100, 0x4000) {
 		t.Error("cold BTB lookup must mispredict")
@@ -150,7 +160,7 @@ func TestBTBLearnsTargets(t *testing.T) {
 func TestBTBCapacityEviction(t *testing.T) {
 	cfg := Default()
 	cfg.BTBEntries, cfg.BTBAssoc = 16, 2
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	// Fill far beyond capacity, then the earliest entries must be gone.
 	for pc := uint64(0); pc < 1024; pc += 4 {
 		p.ObserveIndirect(pc, pc+0x1000)
@@ -167,7 +177,7 @@ func TestBTBCapacityEviction(t *testing.T) {
 }
 
 func TestRASMatchesCallStack(t *testing.T) {
-	p := New(Default())
+	p := mustNew(t, Default())
 	p.ObserveCall(0x100)
 	p.ObserveCall(0x200)
 	p.ObserveCall(0x300)
@@ -182,7 +192,7 @@ func TestRASMatchesCallStack(t *testing.T) {
 func TestRASOverflowDropsOldest(t *testing.T) {
 	cfg := Default()
 	cfg.RASDepth = 4
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	for i := 1; i <= 6; i++ {
 		p.ObserveCall(uint64(i * 0x100))
 	}
@@ -199,7 +209,7 @@ func TestRASOverflowDropsOldest(t *testing.T) {
 }
 
 func TestAccuracyNoLookups(t *testing.T) {
-	p := New(Default())
+	p := mustNew(t, Default())
 	if p.Accuracy() != 1 {
 		t.Error("accuracy with no lookups must be 1")
 	}
@@ -209,7 +219,7 @@ func TestPredictDirectionConsistentWithObserve(t *testing.T) {
 	for _, kind := range []string{"bimodal", "gshare", "tournament"} {
 		cfg := Default()
 		cfg.Kind = kind
-		p := New(cfg)
+		p := mustNew(t, cfg)
 		for i := 0; i < 100; i++ {
 			p.ObserveBranch(0x500, true)
 		}

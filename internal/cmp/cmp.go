@@ -44,8 +44,25 @@ func ParseMode(s string) (Mode, error) {
 	return "", fmt.Errorf("unknown mode %q (want single, corefusion or fgstp)", s)
 }
 
+// ErrLivelock classifies watchdog failures: errors.Is(err, ErrLivelock)
+// holds for any run the livelock watchdog aborted, in any mode. Use
+// errors.As with *core.LivelockError or *ooo.LivelockError to recover
+// the forensic snapshot.
+var ErrLivelock = ooo.ErrLivelock
+
+// Faults is the fault-injection hook threaded into the machine under
+// test (see internal/faults for concrete injectors). Channel faults
+// only apply to ModeFgSTP — the other modes have no inter-core channel.
+type Faults = core.Faults
+
 // Run simulates tr on machine m in the given mode.
 func Run(m config.Machine, mode Mode, tr *trace.Trace) (stats.Run, error) {
+	return RunFaulty(m, mode, tr, nil)
+}
+
+// RunFaulty simulates like Run with a fault injector installed (nil
+// behaves exactly like Run).
+func RunFaulty(m config.Machine, mode Mode, tr *trace.Trace, f Faults) (stats.Run, error) {
 	if err := m.Validate(); err != nil {
 		return stats.Run{}, err
 	}
@@ -54,11 +71,11 @@ func Run(m config.Machine, mode Mode, tr *trace.Trace) (stats.Run, error) {
 	}
 	switch mode {
 	case ModeSingle:
-		return ooo.RunTrace(m.Core, m.Hier, tr), nil
+		return ooo.RunTrace(m.Core, m.Hier, tr)
 	case ModeFusion:
-		return corefusion.Run(m, tr), nil
+		return corefusion.Run(m, tr)
 	case ModeFgSTP:
-		return core.Run(m, tr), nil
+		return core.RunFaulty(m, tr, f)
 	default:
 		return stats.Run{}, fmt.Errorf("unknown mode %q", mode)
 	}

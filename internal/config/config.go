@@ -7,6 +7,7 @@ package config
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -60,35 +61,37 @@ type FgSTP struct {
 	FetchBandwidth int
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. All violations are collected
+// into one error (errors.Join), not just the first.
 func (f *FgSTP) Validate() error {
+	var errs []error
 	if f.Window < 8 || f.Window > 1<<16 {
-		return fmt.Errorf("fgstp: window %d out of range [8, 65536]", f.Window)
+		errs = append(errs, fmt.Errorf("fgstp: window %d out of range [8, 65536]", f.Window))
 	}
 	if f.CommLatency < 0 {
-		return fmt.Errorf("fgstp: negative comm latency")
+		errs = append(errs, fmt.Errorf("fgstp: negative comm latency"))
 	}
 	if f.CommBandwidth < 1 {
-		return fmt.Errorf("fgstp: comm bandwidth %d < 1", f.CommBandwidth)
+		errs = append(errs, fmt.Errorf("fgstp: comm bandwidth %d < 1", f.CommBandwidth))
 	}
 	if f.CommQueue < 1 {
-		return fmt.Errorf("fgstp: comm queue %d < 1", f.CommQueue)
+		errs = append(errs, fmt.Errorf("fgstp: comm queue %d < 1", f.CommQueue))
 	}
 	if f.DepPredBits < -1 || f.DepPredBits > 20 {
-		return fmt.Errorf("fgstp: dep pred bits %d out of range", f.DepPredBits)
+		errs = append(errs, fmt.Errorf("fgstp: dep pred bits %d out of range", f.DepPredBits))
 	}
 	switch f.Steering {
 	case "affinity", "roundrobin", "chunk64":
 	default:
-		return fmt.Errorf("fgstp: unknown steering %q", f.Steering)
+		errs = append(errs, fmt.Errorf("fgstp: unknown steering %q", f.Steering))
 	}
 	if f.FetchBandwidth < 1 {
-		return fmt.Errorf("fgstp: fetch bandwidth %d < 1", f.FetchBandwidth)
+		errs = append(errs, fmt.Errorf("fgstp: fetch bandwidth %d < 1", f.FetchBandwidth))
 	}
 	if f.BalanceThreshold < 0 {
-		return fmt.Errorf("fgstp: negative balance threshold")
+		errs = append(errs, fmt.Errorf("fgstp: negative balance threshold"))
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Machine is a complete experimental platform: one core sizing, its
@@ -120,22 +123,29 @@ type FusionOverheads struct {
 	L1CrossbarLatency int
 }
 
-// Validate reports configuration errors across all components.
+// Validate reports configuration errors across all components. Every
+// component is checked even after the first failure; the violations
+// come back joined into one error (errors.Join) wrapped with the
+// machine name, so a caller sees the complete repair list at once.
 func (m *Machine) Validate() error {
+	var errs []error
 	if err := m.Core.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := m.Hier.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := m.FgSTP.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if m.Fusion.ExtraFrontend < 0 || m.Fusion.ExtraMispredict < 0 ||
 		m.Fusion.CrossClusterBypass < 0 || m.Fusion.L1CrossbarLatency < 0 {
-		return fmt.Errorf("machine %s: negative fusion overheads", m.Name)
+		errs = append(errs, fmt.Errorf("negative fusion overheads"))
 	}
-	return nil
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("machine %s: invalid config: %w", m.Name, errors.Join(errs...))
 }
 
 // defaultFgSTP is the fabric configuration both presets share.

@@ -27,8 +27,8 @@ func BenchmarkFgstpMachine(b *testing.B) {
 	cfg := config.Medium()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := NewMachine(cfg, tr)
-		m.Drain()
+		m := mustMachine(b, cfg, tr)
+		mustDrainM(b, m)
 	}
 	b.ReportMetric(float64(tr.Len()), "insts/op")
 }

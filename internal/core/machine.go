@@ -117,6 +117,14 @@ type Machine struct {
 	hasSquash     bool
 	pendingSquash uint64
 
+	// faults, when non-nil, injects deterministic faults (testing and
+	// fault drills; see internal/faults).
+	faults Faults
+
+	// Last-squash forensics for the livelock watchdog snapshot.
+	lastSquashGSeq  uint64
+	lastSquashCycle int64
+
 	// Stats.
 	CrossViolations uint64
 	GlobalSquashes  uint64
@@ -125,10 +133,23 @@ type Machine struct {
 	ForwardedRemote uint64
 }
 
-// NewMachine assembles an Fg-STP system over a captured trace.
-func NewMachine(cfg config.Machine, tr *trace.Trace) *Machine {
+// Faults is the fault-injection surface of the Fg-STP machine: the
+// deterministic injector (internal/faults) implements it to force the
+// failure modes the watchdog and recovery paths must survive. A nil
+// Faults simulates normally.
+type Faults interface {
+	// ChannelStalled reports whether the inter-core value channel into
+	// core dst refuses grants at cycle now. A permanent stall starves
+	// every cross-core consumer and livelocks the machine — the
+	// canonical watchdog drill.
+	ChannelStalled(dst int, now int64) bool
+}
+
+// NewMachine assembles an Fg-STP system over a captured trace. It
+// reports an error on an invalid configuration.
+func NewMachine(cfg config.Machine, tr *trace.Trace) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	m := &Machine{
 		cfg:         cfg,
@@ -163,9 +184,16 @@ func NewMachine(cfg config.Machine, tr *trace.Trace) *Machine {
 	m.chans[0] = newChannel(f.CommLatency, f.CommBandwidth, f.CommQueue)
 	m.chans[1] = newChannel(f.CommLatency, f.CommBandwidth, f.CommQueue)
 
-	m.hiers[0], m.hiers[1] = mem.NewSharedL2Pair(cfg.Hier)
+	var err error
+	m.hiers[0], m.hiers[1], err = mem.NewSharedL2Pair(cfg.Hier)
+	if err != nil {
+		return nil, err
+	}
 	m.st = newSteerer(f, cfg.Core.ROBSize, tr)
-	m.seq = newSequencer(f, cfg.Core.Predictor, tr, m.st, m.hiers[0], m.hiers[1])
+	m.seq, err = newSequencer(f, cfg.Core.Predictor, tr, m.st, m.hiers[0], m.hiers[1])
+	if err != nil {
+		return nil, err
+	}
 	m.seq.onDeliver = func(d *isa.DynInst, gseq uint64, home int) {
 		if d.IsStore() {
 			m.pendingStores[home].add(gseq)
@@ -182,10 +210,17 @@ func NewMachine(cfg config.Machine, tr *trace.Trace) *Machine {
 	ccfg.ExternalFrontend = true
 	ccfg.DepPredBits = depBits
 	for i := 0; i < 2; i++ {
-		m.cores[i] = ooo.NewCore(ccfg, m.hiers[i], m.seq.streams[i], &coreHooks{m: m, id: i})
+		m.cores[i], err = ooo.NewCore(ccfg, m.hiers[i], m.seq.streams[i], &coreHooks{m: m, id: i})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return m
+	return m, nil
 }
+
+// SetFaults installs a fault injector; call it before Drain. A nil
+// injector (the default) simulates normally.
+func (m *Machine) SetFaults(f Faults) { m.faults = f }
 
 // expected returns how many commits gseq requires (2 when replicated).
 func (m *Machine) expected(gseq uint64) int {
@@ -229,6 +264,7 @@ func (m *Machine) applySquash(now int64) {
 	g := m.pendingSquash
 	m.hasSquash = false
 	m.GlobalSquashes++
+	m.lastSquashGSeq, m.lastSquashCycle = g, now
 
 	m.cores[0].SquashFrom(g, now)
 	m.cores[1].SquashFrom(g, now)
@@ -304,6 +340,12 @@ type coreHooks struct {
 // lazily and memoised.
 func (h *coreHooks) ExtReadyAt(u *ooo.UOp, srcIdx int, now int64) int64 {
 	m := h.m
+	if m.faults != nil && m.faults.ChannelStalled(h.id, now) {
+		// Injected fault: the channel refuses the grant this cycle. Do
+		// not memoise — the consumer re-polls and recovers if the stall
+		// is transient.
+		return farFuture
+	}
 	p := u.Item.Deps[srcIdx].Producer
 	if t, ok := m.deliver[h.id][p]; ok {
 		return t

@@ -10,6 +10,29 @@ import (
 	"repro/internal/workloads"
 )
 
+func mustMachine(tb testing.TB, cfg config.Machine, tr *trace.Trace) *Machine {
+	tb.Helper()
+	m, err := NewMachine(cfg, tr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func mustDrainM(tb testing.TB, m *Machine) int64 {
+	tb.Helper()
+	cycles, err := m.Drain()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cycles
+}
+
+func drainNew(tb testing.TB, cfg config.Machine, tr *trace.Trace) int64 {
+	tb.Helper()
+	return mustDrainM(tb, mustMachine(tb, cfg, tr))
+}
+
 func wkTrace(t *testing.T, name string, n uint64) *trace.Trace {
 	t.Helper()
 	w, ok := workloads.ByName(name)
@@ -24,7 +47,10 @@ func TestFgstpCommitsEverything(t *testing.T) {
 	for _, preset := range []config.Machine{config.Small(), config.Medium()} {
 		for _, w := range workloads.All() {
 			tr := w.Trace(8_000)
-			r := Run(preset, tr)
+			r, err := Run(preset, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if r.Insts != uint64(tr.Len()) {
 				t.Errorf("%s/%s: committed %d of %d", preset.Name, w.Name, r.Insts, tr.Len())
 			}
@@ -38,8 +64,8 @@ func TestFgstpCommitsEverything(t *testing.T) {
 // Per-core committed counts sum to the trace (replicas extra).
 func TestFgstpCommitAccounting(t *testing.T) {
 	tr := wkTrace(t, "milc", 12_000)
-	m := NewMachine(config.Medium(), tr)
-	m.Drain()
+	m := mustMachine(t, config.Medium(), tr)
+	mustDrainM(t, m)
 	c0, r0 := m.CommittedOf(0)
 	c1, r1 := m.CommittedOf(1)
 	if c0+c1 != uint64(tr.Len()) {
@@ -54,8 +80,8 @@ func TestFgstpCommitAccounting(t *testing.T) {
 // Determinism: two runs of the same trace take identical cycle counts.
 func TestFgstpDeterministic(t *testing.T) {
 	tr := wkTrace(t, "omnetpp", 10_000)
-	a := NewMachine(config.Medium(), tr).Drain()
-	b := NewMachine(config.Medium(), tr).Drain()
+	a := drainNew(t, config.Medium(), tr)
+	b := drainNew(t, config.Medium(), tr)
 	if a != b {
 		t.Errorf("nondeterministic: %d vs %d cycles", a, b)
 	}
@@ -82,8 +108,8 @@ func TestFgstpCrossCoreMemDeps(t *testing.T) {
 	b.Bne(isa.R2, isa.R0, "loop")
 	b.Halt()
 	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
-	m := NewMachine(config.Medium(), tr)
-	m.Drain()
+	m := mustMachine(t, config.Medium(), tr)
+	mustDrainM(t, m)
 	if m.nextCommit != uint64(tr.Len()) {
 		t.Fatalf("committed %d of %d", m.nextCommit, tr.Len())
 	}
@@ -116,8 +142,8 @@ func TestFgstpViolationRecovery(t *testing.T) {
 	b.Bne(isa.R9, isa.R0, "loop")
 	b.Halt()
 	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
-	m := NewMachine(config.Medium(), tr)
-	m.Drain()
+	m := mustMachine(t, config.Medium(), tr)
+	mustDrainM(t, m)
 	if m.nextCommit != uint64(tr.Len()) {
 		t.Fatalf("committed %d of %d after squashes", m.nextCommit, tr.Len())
 	}
@@ -135,7 +161,7 @@ func TestFgstpCommLatencyMonotone(t *testing.T) {
 	for i, lat := range []int{1, 4, 16} {
 		cfg := config.Medium()
 		cfg.FgSTP.CommLatency = lat
-		cycles := NewMachine(cfg, tr).Drain()
+		cycles := drainNew(t, cfg, tr)
 		if i > 0 && cycles < prev {
 			t.Errorf("comm latency %d ran faster (%d) than lower latency (%d)",
 				lat, cycles, prev)
@@ -151,7 +177,7 @@ func TestFgstpSteeringPolicyOrdering(t *testing.T) {
 	run := func(policy string) int64 {
 		cfg := config.Medium()
 		cfg.FgSTP.Steering = policy
-		return NewMachine(cfg, tr).Drain()
+		return drainNew(t, cfg, tr)
 	}
 	affinity := run("affinity")
 	rr := run("roundrobin")
@@ -166,8 +192,8 @@ func TestFgstpWindowMonotone(t *testing.T) {
 	small := config.Medium()
 	small.FgSTP.Window = 32
 	big := config.Medium()
-	cyclesSmall := NewMachine(small, tr).Drain()
-	cyclesBig := NewMachine(big, tr).Drain()
+	cyclesSmall := drainNew(t, small, tr)
+	cyclesBig := drainNew(t, big, tr)
 	if cyclesBig > cyclesSmall {
 		t.Errorf("window 512 (%d cycles) slower than window 32 (%d)", cyclesBig, cyclesSmall)
 	}
@@ -179,8 +205,8 @@ func TestFgstpConservativeNoViolations(t *testing.T) {
 	tr := wkTrace(t, "omnetpp", 10_000)
 	cfg := config.Medium()
 	cfg.FgSTP.DepSpeculation = false
-	m := NewMachine(cfg, tr)
-	m.Drain()
+	m := mustMachine(t, cfg, tr)
+	mustDrainM(t, m)
 	if m.nextCommit != uint64(tr.Len()) {
 		t.Fatalf("committed %d of %d", m.nextCommit, tr.Len())
 	}
@@ -196,15 +222,15 @@ func TestFgstpOracleDisambiguation(t *testing.T) {
 
 	oracle := config.Medium()
 	oracle.FgSTP.DepPredBits = -1
-	mo := NewMachine(oracle, tr)
-	co := mo.Drain()
+	mo := mustMachine(t, oracle, tr)
+	co := mustDrainM(t, mo)
 	if mo.CrossViolations != 0 {
 		t.Errorf("oracle mode had %d violations", mo.CrossViolations)
 	}
 
 	conservative := config.Medium()
 	conservative.FgSTP.DepSpeculation = false
-	cc := NewMachine(conservative, tr).Drain()
+	cc := drainNew(t, conservative, tr)
 	if co > cc {
 		t.Errorf("oracle (%d cycles) slower than conservative (%d)", co, cc)
 	}
@@ -213,8 +239,8 @@ func TestFgstpOracleDisambiguation(t *testing.T) {
 // The summary must expose the characterisation counters E8 needs.
 func TestFgstpSummaryCounters(t *testing.T) {
 	tr := wkTrace(t, "perlbench", 10_000)
-	m := NewMachine(config.Medium(), tr)
-	cycles := m.Drain()
+	m := mustMachine(t, config.Medium(), tr)
+	cycles := mustDrainM(t, m)
 	r := m.Summarize(cycles)
 	for _, key := range []string{"steer_core1_frac", "replicated_frac",
 		"remote_dep_frac", "comm_per_kinst", "bpred_accuracy"} {
@@ -235,8 +261,8 @@ func TestFgstpTinyTrace(t *testing.T) {
 	b.Addi(isa.R2, isa.R1, 1)
 	b.Halt()
 	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
-	m := NewMachine(config.Small(), tr)
-	m.Drain()
+	m := mustMachine(t, config.Small(), tr)
+	mustDrainM(t, m)
 	if m.nextCommit != uint64(tr.Len()) {
 		t.Errorf("tiny trace committed %d of %d", m.nextCommit, tr.Len())
 	}
@@ -310,8 +336,8 @@ func TestFgstpSquashDuringBranchBlock(t *testing.T) {
 	b.Bne(isa.R9, isa.R0, "loop")
 	b.Halt()
 	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
-	m := NewMachine(config.Medium(), tr)
-	m.Drain()
+	m := mustMachine(t, config.Medium(), tr)
+	mustDrainM(t, m)
 	if m.nextCommit != uint64(tr.Len()) {
 		t.Fatalf("committed %d of %d", m.nextCommit, tr.Len())
 	}
@@ -323,8 +349,8 @@ func TestFgstpForwardProgressUnderSquash(t *testing.T) {
 	tr := wkTrace(t, "bzip2", 20_000)
 	cfg := config.Medium()
 	cfg.FgSTP.DepPredBits = 4 // tiny table: heavy aliasing
-	m := NewMachine(cfg, tr)
-	cycles := m.Drain()
+	m := mustMachine(t, cfg, tr)
+	cycles := mustDrainM(t, m)
 	if m.nextCommit != uint64(tr.Len()) {
 		t.Fatalf("committed %d of %d", m.nextCommit, tr.Len())
 	}
@@ -338,8 +364,8 @@ func TestFgstpForwardProgressUnderSquash(t *testing.T) {
 // destination) pair.
 func TestFgstpChannelTrafficBounded(t *testing.T) {
 	tr := wkTrace(t, "soplex", 15_000)
-	m := NewMachine(config.Medium(), tr)
-	m.Drain()
+	m := mustMachine(t, config.Medium(), tr)
+	mustDrainM(t, m)
 	transfers := m.ChannelTransfers()
 	remoteDeps := m.Steerer().RemoteDeps
 	// Transfers can exceed remote deps only through squash re-grants;
@@ -356,8 +382,8 @@ func TestFgstpStoreSetsMode(t *testing.T) {
 		tr := wkTrace(t, name, 12_000)
 		cfg := config.Medium()
 		cfg.FgSTP.UseStoreSets = true
-		m := NewMachine(cfg, tr)
-		m.Drain()
+		m := mustMachine(t, cfg, tr)
+		mustDrainM(t, m)
 		if m.nextCommit != uint64(tr.Len()) {
 			t.Fatalf("%s: committed %d of %d", name, m.nextCommit, tr.Len())
 		}

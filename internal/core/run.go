@@ -12,28 +12,114 @@ import (
 // maxCyclesPerInst bounds runs against livelock bugs.
 const maxCyclesPerInst = 2000
 
+// LivelockError is the Fg-STP watchdog diagnostic: a forensic snapshot
+// of the stalled two-core machine at detection time. It wraps
+// ooo.ErrLivelock, so errors.Is(err, ooo.ErrLivelock) classifies it and
+// errors.As recovers the snapshot.
+type LivelockError struct {
+	// Cycles is the cycle the watchdog fired at; SinceCommit how many
+	// of those elapsed since the global commit pointer last advanced.
+	Cycles      int64
+	SinceCommit int64
+	// NextCommit is the stuck global commit pointer (oldest gseq not
+	// fully committed) of a TraceLen-instruction trace; Delivered is
+	// the sequencer's delivery frontier.
+	NextCommit uint64
+	TraceLen   int
+	Delivered  uint64
+	// Per-core state: committed instruction counts and ROB occupancy.
+	Committed [2]uint64
+	InFlight  [2]int
+	// Channel state: values in flight per direction at detection time
+	// and total transfers granted.
+	ChanInFlight [2]int
+	Transfers    [2]uint64
+	// Squash forensics: total global squashes, and the gseq/cycle of
+	// the most recent one (zero values when none happened).
+	Squashes        uint64
+	LastSquashGSeq  uint64
+	LastSquashCycle int64
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("fgstp: livelock at cycle %d (%d cycles without commit; "+
+		"next-commit gseq %d of %d, delivered %d; "+
+		"core0 %d committed/%d in flight, core1 %d committed/%d in flight; "+
+		"chan in-flight %d/%d, transfers %d/%d; "+
+		"%d squashes, last at gseq %d cycle %d)",
+		e.Cycles, e.SinceCommit,
+		e.NextCommit, e.TraceLen, e.Delivered,
+		e.Committed[0], e.InFlight[0], e.Committed[1], e.InFlight[1],
+		e.ChanInFlight[0], e.ChanInFlight[1], e.Transfers[0], e.Transfers[1],
+		e.Squashes, e.LastSquashGSeq, e.LastSquashCycle)
+}
+
+func (e *LivelockError) Unwrap() error { return ooo.ErrLivelock }
+
 // Run simulates tr to completion on an Fg-STP machine built from cfg
 // and returns the run summary — the Fg-STP data point of every
 // experiment.
-func Run(cfg config.Machine, tr *trace.Trace) stats.Run {
-	m := NewMachine(cfg, tr)
-	cycles := m.Drain()
-	return m.Summarize(cycles)
+func Run(cfg config.Machine, tr *trace.Trace) (stats.Run, error) {
+	return RunFaulty(cfg, tr, nil)
+}
+
+// RunFaulty simulates like Run with a fault injector installed (nil
+// behaves exactly like Run). Injected faults that starve the machine
+// surface as a *LivelockError from the watchdog, not a hang.
+func RunFaulty(cfg config.Machine, tr *trace.Trace, f Faults) (stats.Run, error) {
+	m, err := NewMachine(cfg, tr)
+	if err != nil {
+		return stats.Run{}, err
+	}
+	m.SetFaults(f)
+	cycles, err := m.Drain()
+	if err != nil {
+		return stats.Run{}, err
+	}
+	return m.Summarize(cycles), nil
 }
 
 // Drain cycles the machine until the whole trace has committed and
-// returns the cycle count. It panics on livelock.
-func (m *Machine) Drain() int64 {
+// returns the cycle count. A livelocked run — no commit progress for
+// ooo.LivelockWindow cycles, or the absolute per-instruction cycle
+// limit exceeded — returns a *LivelockError snapshot instead of
+// spinning forever.
+func (m *Machine) Drain() (int64, error) {
 	limit := int64(m.tr.Len()+1000) * maxCyclesPerInst
-	var now int64
+	var now, lastProgress int64
+	lastCommit := m.nextCommit
 	for ; !m.Done(); now++ {
-		if now > limit {
-			panic(fmt.Sprintf("fgstp: livelock after %d cycles (committed %d of %d)",
-				now, m.nextCommit, m.tr.Len()))
+		if m.nextCommit != lastCommit {
+			lastCommit, lastProgress = m.nextCommit, now
+		}
+		if now-lastProgress > ooo.LivelockWindow || now > limit {
+			return now, m.livelockSnapshot(now, now-lastProgress)
 		}
 		m.Cycle(now)
 	}
-	return now
+	return now, nil
+}
+
+// livelockSnapshot assembles the watchdog diagnostic at cycle now.
+func (m *Machine) livelockSnapshot(now, sinceCommit int64) *LivelockError {
+	e := &LivelockError{
+		Cycles:          now,
+		SinceCommit:     sinceCommit,
+		NextCommit:      m.nextCommit,
+		TraceLen:        m.tr.Len(),
+		Delivered:       m.seq.pos,
+		Squashes:        m.GlobalSquashes,
+		LastSquashGSeq:  m.lastSquashGSeq,
+		LastSquashCycle: m.lastSquashCycle,
+	}
+	for i := 0; i < 2; i++ {
+		rpt := m.cores[i].Report()
+		e.Committed[i] = rpt.Committed
+		e.InFlight[i] = m.cores[i].InFlight()
+		e.ChanInFlight[i] = m.chans[i].occupancy(now)
+		e.Transfers[i] = m.chans[i].Transfers
+	}
+	return e
 }
 
 // Summarize collects the machine-level statistics into a stats.Run.

@@ -85,12 +85,16 @@ type sequencer struct {
 	ReplicaDeliveries uint64
 }
 
-func newSequencer(cfg config.FgSTP, pcfg bpred.Config, tr *trace.Trace, st *steerer, h0, h1 *mem.Hierarchy) *sequencer {
+func newSequencer(cfg config.FgSTP, pcfg bpred.Config, tr *trace.Trace, st *steerer, h0, h1 *mem.Hierarchy) (*sequencer, error) {
+	pred, err := bpred.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &sequencer{
 		cfg:      cfg,
 		tr:       tr,
 		st:       st,
-		pred:     bpred.New(pcfg),
+		pred:     pred,
 		hiers:    [2]*mem.Hierarchy{h0, h1},
 		queueCap: 16 * cfg.FetchBandwidth,
 	}
@@ -98,7 +102,7 @@ func newSequencer(cfg config.FgSTP, pcfg bpred.Config, tr *trace.Trace, st *stee
 	s.streams[1] = &coreStream{seq: s}
 	s.lastFetchLine[0] = ^uint64(0)
 	s.lastFetchLine[1] = ^uint64(0)
-	return s
+	return s, nil
 }
 
 // resolveBranch unblocks the sequencer once the mispredicted branch at

@@ -60,13 +60,22 @@ func FusedHierarchy(m config.Machine) mem.HierarchyConfig {
 
 // Run simulates tr to completion on the fused configuration of machine
 // m and returns the run summary.
-func Run(m config.Machine, tr *trace.Trace) stats.Run {
+func Run(m config.Machine, tr *trace.Trace) (stats.Run, error) {
 	cfg := FusedConfig(m)
-	hier := mem.NewHierarchy(FusedHierarchy(m))
-	core := ooo.NewCore(cfg, hier, ooo.NewTraceStream(tr), nil)
-	cycles := ooo.Drain(core, tr.Len())
+	hier, err := mem.NewHierarchy(FusedHierarchy(m))
+	if err != nil {
+		return stats.Run{}, err
+	}
+	core, err := ooo.NewCore(cfg, hier, ooo.NewTraceStream(tr), nil)
+	if err != nil {
+		return stats.Run{}, err
+	}
+	cycles, err := ooo.Drain(core, tr.Len())
+	if err != nil {
+		return stats.Run{}, err
+	}
 	r := ooo.Summarize(core, tr, "corefusion", cycles)
 	// Fusion powers both constituent cores.
 	r.Set("active_cores", 2)
-	return r
+	return r, nil
 }

@@ -7,9 +7,19 @@ import (
 	"repro/internal/isa"
 	"repro/internal/ooo"
 	"repro/internal/program"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+func mustRun(tb testing.TB, m config.Machine, tr *trace.Trace) stats.Run {
+	tb.Helper()
+	r, err := Run(m, tr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
 
 func TestFusedConfigDerivation(t *testing.T) {
 	m := config.Medium()
@@ -62,7 +72,7 @@ func TestFusedRunCommitsEverything(t *testing.T) {
 	for _, name := range []string{"gobmk", "soplex"} {
 		w, _ := workloads.ByName(name)
 		tr := w.Trace(8_000)
-		r := Run(m, tr)
+		r := mustRun(t, m, tr)
 		if r.Insts != uint64(tr.Len()) {
 			t.Errorf("%s: committed %d of %d", name, r.Insts, tr.Len())
 		}
@@ -83,7 +93,7 @@ func TestFusedWinsOnWideWork(t *testing.T) {
 	b.Halt()
 	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
 	m := config.Medium()
-	fused := Run(m, tr)
+	fused := mustRun(t, m, tr)
 
 	// Single core on the same trace.
 	single := singleCycles(t, m, tr)
@@ -116,7 +126,7 @@ func TestFusedMispredictPenaltyDeeper(t *testing.T) {
 	b.Halt()
 	tr := trace.CaptureFromLabel(b.MustBuild(), "main", 0)
 	m := config.Medium()
-	fused := Run(m, tr)
+	fused := mustRun(t, m, tr)
 	single := singleCycles(t, m, tr)
 	if fused.Cycles <= single {
 		t.Errorf("fused (%d) should lose to single (%d) on mispredict-bound work",
@@ -126,6 +136,9 @@ func TestFusedMispredictPenaltyDeeper(t *testing.T) {
 
 func singleCycles(t *testing.T, m config.Machine, tr *trace.Trace) uint64 {
 	t.Helper()
-	r := ooo.RunTrace(m.Core, m.Hier, tr)
+	r, err := ooo.RunTrace(m.Core, m.Hier, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return r.Cycles
 }

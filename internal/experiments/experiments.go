@@ -11,11 +11,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/cmp"
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -32,7 +34,15 @@ type Result struct {
 	Notes []string
 	// Metrics are the headline numbers (keyed by snake_case name).
 	Metrics map[string]float64
+	// Failures lists every failed simulation cell ("context: error"),
+	// in deterministic submission order. A failed cell renders as
+	// FAIL(reason) in the tables and is excluded from geomeans; the
+	// rest of the experiment still completes.
+	Failures []string
 }
+
+// Failed reports whether any simulation cell of the experiment failed.
+func (r *Result) Failed() bool { return len(r.Failures) > 0 }
 
 func (r *Result) metric(key string, v float64) {
 	if r.Metrics == nil {
@@ -46,6 +56,9 @@ func (r *Result) String() string {
 	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
 	for _, n := range r.Notes {
 		out += "   " + n + "\n"
+	}
+	for _, f := range r.Failures {
+		out += "   FAIL " + f + "\n"
 	}
 	out += "\n"
 	for _, t := range r.Tables {
@@ -72,6 +85,9 @@ type runner struct {
 	// jobs is the worker count for sched.Map fan-out (<= 0 picks
 	// GOMAXPROCS).
 	jobs int
+	// poison names a workload whose Fg-STP runs get a channel-stall
+	// fault injected (empty = none); see Session.Poison.
+	poison string
 	// traces caches captured workload traces. Single-flight: under the
 	// pool, the first job to ask captures while the rest wait, so each
 	// workload is captured exactly once per session.
@@ -115,6 +131,18 @@ func (r *runner) traceOf(w workloads.Workload) *trace.Trace {
 	return t
 }
 
+// fgstpOf runs the Fg-STP configuration, installing a fresh
+// channel-stall fault when the workload is poisoned (see
+// Session.Poison). The stall is per-run: injectors carry state, so
+// concurrent cells never share one.
+func (r *runner) fgstpOf(m config.Machine, w workloads.Workload) (stats.Run, error) {
+	var f cmp.Faults
+	if w.Name == r.poison {
+		f = faults.ChannelStall(0)
+	}
+	return cmp.RunFaulty(m, cmp.ModeFgSTP, r.traceOf(w), f)
+}
+
 // runOf dispatches one (machine, mode, workload) simulation through
 // the baseline caches where the mode allows it.
 func (r *runner) runOf(m config.Machine, mode cmp.Mode, w workloads.Workload) (stats.Run, error) {
@@ -124,14 +152,60 @@ func (r *runner) runOf(m config.Machine, mode cmp.Mode, w workloads.Workload) (s
 	case cmp.ModeFusion:
 		return r.fusionOf(m, w)
 	default:
-		return cmp.Run(m, mode, r.traceOf(w))
+		return r.fgstpOf(m, w)
 	}
 }
 
-// gridRuns fans the (workload × mode) simulation grid out over the
-// pool and returns, per workload in the given order, the runs keyed by
-// mode.
-func (r *runner) gridRuns(m config.Machine, ws []workloads.Workload, modes []cmp.Mode) ([]map[cmp.Mode]stats.Run, error) {
+// outcome is one simulation cell: its run on success, its error on
+// failure.
+type outcome struct {
+	run stats.Run
+	err error
+}
+
+// failReason classifies a cell failure for the compact FAIL(reason)
+// table rendering.
+func failReason(err error) string {
+	var pe *sched.PanicError
+	switch {
+	case errors.Is(err, cmp.ErrLivelock):
+		return "livelock"
+	case errors.As(err, &pe):
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// failCell renders a failed cell.
+func failCell(err error) string { return "FAIL(" + failReason(err) + ")" }
+
+// ipcCell renders an outcome's IPC, or its failure.
+func ipcCell(o outcome) string {
+	if o.err != nil {
+		return failCell(o.err)
+	}
+	return fmt.Sprintf("%.3f", o.run.IPC())
+}
+
+// degrade records failed cells on res: the per-cell failure lines and
+// the geomean-exclusion note. total is how many simulation cells the
+// experiment attempted. With no failures it records nothing.
+func degrade(res *Result, failures []string, total int) {
+	if len(failures) == 0 {
+		return
+	}
+	res.Failures = append(res.Failures, failures...)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("DEGRADED: excluded %d of %d simulations from aggregates; failed cells render FAIL(reason).",
+			len(failures), total))
+}
+
+// gridOutcomes fans the (workload × mode) simulation grid out over the
+// pool and returns, per workload in the given order, the cell outcomes
+// keyed by mode, plus the failure lines in submission order. Failed
+// cells never abort the grid: every cell runs.
+func (r *runner) gridOutcomes(m config.Machine, ws []workloads.Workload, modes []cmp.Mode) ([]map[cmp.Mode]outcome, []string) {
 	type cell struct {
 		w    workloads.Workload
 		mode cmp.Mode
@@ -142,33 +216,37 @@ func (r *runner) gridRuns(m config.Machine, ws []workloads.Workload, modes []cmp
 			cells = append(cells, cell{w, mode})
 		}
 	}
-	flat, err := sched.Map(r.jobs, cells, func(c cell) (stats.Run, error) {
+	runs, errs := sched.MapAll(r.jobs, cells, func(c cell) (stats.Run, error) {
 		return r.runOf(m, c.mode, c.w)
 	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]map[cmp.Mode]stats.Run, len(ws))
+	out := make([]map[cmp.Mode]outcome, len(ws))
+	var failures []string
 	for i := range ws {
-		out[i] = make(map[cmp.Mode]stats.Run, len(modes))
+		out[i] = make(map[cmp.Mode]outcome, len(modes))
 		for j, mode := range modes {
-			out[i][mode] = flat[i*len(modes)+j]
+			idx := i*len(modes) + j
+			out[i][mode] = outcome{runs[idx], errs[idx]}
+			if errs[idx] != nil {
+				failures = append(failures,
+					fmt.Sprintf("%s/%s/%s: %v", m.Name, ws[i].Name, mode, errs[idx]))
+			}
 		}
 	}
-	return out, nil
+	return out, failures
 }
 
-// speedupsOf fans out one (single, fgstp) pair per workload and
-// returns each workload's Fg-STP speedup over the single core, in
-// workload order — the common shape of the ablation and every
-// sensitivity sweep.
-func (r *runner) speedupsOf(m config.Machine, ws []workloads.Workload) ([]float64, error) {
-	return sched.Map(r.jobs, ws, func(w workloads.Workload) (float64, error) {
+// speedupOutcomes fans out one (single, fgstp) pair per workload and
+// returns each workload's Fg-STP speedup over the single core with its
+// per-workload error, both in workload order — the common shape of the
+// ablation and every sensitivity sweep. Failures never abort the
+// batch.
+func (r *runner) speedupOutcomes(m config.Machine, ws []workloads.Workload) ([]float64, []error) {
+	return sched.MapAll(r.jobs, ws, func(w workloads.Workload) (float64, error) {
 		s, err := r.singleOf(m, w)
 		if err != nil {
 			return 0, err
 		}
-		g, err := cmp.Run(m, cmp.ModeFgSTP, r.traceOf(w))
+		g, err := r.fgstpOf(m, w)
 		if err != nil {
 			return 0, err
 		}
@@ -206,6 +284,15 @@ func NewSession(insts uint64, jobs int) *Session {
 	}
 	return &Session{r: newRunner(insts, jobs)}
 }
+
+// Poison marks one workload for deterministic fault injection: every
+// Fg-STP simulation of it runs with the inter-core channel stalled
+// from cycle 0, which starves the consumer core and drives the run
+// into the livelock watchdog. The baselines (single, fusion) are
+// unaffected. Poisoning exercises the degradation path end to end:
+// the poisoned cells render FAIL(livelock), their workload drops out
+// of the geomeans, and every other experiment cell still completes.
+func (s *Session) Poison(workload string) { s.r.poison = workload }
 
 // Run executes one experiment with the given per-run instruction
 // budget (0 picks the default of 100k), fanning its job list out over
@@ -317,16 +404,20 @@ func (r *runner) speedupFigure(id string, m config.Machine) (*Result, error) {
 
 	// Job list: every workload in every mode, fanned out over the
 	// pool; results come back in submission order so the aggregation
-	// below is byte-identical to the serial loop it replaced.
+	// below is byte-identical to the serial loop it replaced. A failed
+	// cell renders FAIL(reason) and drops its workload from the
+	// geomeans; the rest of the figure still computes.
 	ws := workloads.All()
-	runs, err := r.gridRuns(m, ws, cmp.Modes())
-	if err != nil {
-		return nil, err
-	}
+	runs, failures := r.gridOutcomes(m, ws, cmp.Modes())
 	var spS, spF []float64
 	var spSInt, spSFp []float64
 	for i, w := range ws {
-		s, f, g := runs[i][cmp.ModeSingle], runs[i][cmp.ModeFusion], runs[i][cmp.ModeFgSTP]
+		os, of, og := runs[i][cmp.ModeSingle], runs[i][cmp.ModeFusion], runs[i][cmp.ModeFgSTP]
+		if os.err != nil || of.err != nil || og.err != nil {
+			tb.AddRow(w.Name, w.Suite, ipcCell(os), ipcCell(of), ipcCell(og), "-", "-", "-")
+			continue
+		}
+		s, f, g := os.run, of.run, og.run
 		gs := stats.Speedup(&s, &g)
 		gf := stats.Speedup(&f, &g)
 		spS = append(spS, gs)
@@ -341,6 +432,7 @@ func (r *runner) speedupFigure(id string, m config.Machine) (*Result, error) {
 	}
 	tb.AddRowf("GEOMEAN", "", "", "", "", "", stats.Geomean(spS), stats.Geomean(spF))
 	res.Tables = append(res.Tables, tb)
+	degrade(res, failures, len(ws)*len(cmp.Modes()))
 	res.metric("geomean_fgstp_vs_single", stats.Geomean(spS))
 	res.metric("geomean_fgstp_vs_fusion", stats.Geomean(spF))
 	res.metric("geomean_int_fgstp_vs_single", stats.Geomean(spSInt))
@@ -389,23 +481,31 @@ func (r *runner) e4() (*Result, error) {
 			cells = append(cells, cell{i, w})
 		}
 	}
-	sp, err := sched.Map(r.jobs, cells, func(c cell) (float64, error) {
+	sp, errs := sched.MapAll(r.jobs, cells, func(c cell) (float64, error) {
 		s, err := r.singleOf(machines[c.vi], c.w)
 		if err != nil {
 			return 0, err
 		}
-		g, err := cmp.Run(machines[c.vi], cmp.ModeFgSTP, r.traceOf(c.w))
+		g, err := r.fgstpOf(machines[c.vi], c.w)
 		if err != nil {
 			return 0, err
 		}
 		return stats.Speedup(&s, &g), nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	var failures []string
 	var full float64
 	for i, v := range variants {
-		gm := stats.Geomean(sp[i*len(ws) : (i+1)*len(ws)])
+		var vals []float64
+		for j := range ws {
+			idx := i*len(ws) + j
+			if errs[idx] != nil {
+				failures = append(failures,
+					fmt.Sprintf("%s/%s: %v", v.name, ws[j].Name, errs[idx]))
+				continue
+			}
+			vals = append(vals, sp[idx])
+		}
+		gm := stats.Geomean(vals)
 		if v.name == "full" {
 			full = gm
 		}
@@ -413,6 +513,7 @@ func (r *runner) e4() (*Result, error) {
 		res.metric("geomean_"+v.name, gm)
 	}
 	res.Tables = append(res.Tables, tb)
+	degrade(res, failures, len(cells))
 	return res, nil
 }
 
@@ -426,13 +527,16 @@ func (r *runner) e5() (*Result, error) {
 	}
 	tb := stats.NewTable("Comm latency sweep", "latency", "geomean speedup", "vs 1-cycle")
 	var base float64
+	var failures []string
+	total := 0
 	for _, lat := range []int{1, 2, 4, 8} {
 		m := config.Medium()
 		m.FgSTP.CommLatency = lat
-		gm, err := r.fgstpGeomean(m)
-		if err != nil {
-			return nil, err
+		gm, fails := r.fgstpGeomean(m)
+		for _, f := range fails {
+			failures = append(failures, fmt.Sprintf("lat%d/%s", lat, f))
 		}
+		total += len(workloads.All())
 		if lat == 1 {
 			base = gm
 		}
@@ -440,6 +544,7 @@ func (r *runner) e5() (*Result, error) {
 		res.metric(fmt.Sprintf("geomean_lat%d", lat), gm)
 	}
 	res.Tables = append(res.Tables, tb)
+	degrade(res, failures, total)
 	return res, nil
 }
 
@@ -455,13 +560,16 @@ func (r *runner) e6() (*Result, error) {
 	}
 	tb := stats.NewTable("Bandwidth sweep (latency 2, queue 16)",
 		"values/cycle", "geomean speedup")
+	var failures []string
+	total := 0
 	for _, bw := range []int{1, 2, 4} {
 		m := config.Medium()
 		m.FgSTP.CommBandwidth = bw
-		gm, err := r.fgstpGeomean(m)
-		if err != nil {
-			return nil, err
+		gm, fails := r.fgstpGeomean(m)
+		for _, f := range fails {
+			failures = append(failures, fmt.Sprintf("bw%d/%s", bw, f))
 		}
+		total += len(workloads.All())
 		tb.AddRowf(fmt.Sprintf("%d", bw), gm)
 		res.metric(fmt.Sprintf("geomean_bw%d", bw), gm)
 	}
@@ -473,10 +581,11 @@ func (r *runner) e6() (*Result, error) {
 		m := config.Medium()
 		m.FgSTP.CommLatency = 8
 		m.FgSTP.CommQueue = q
-		gm, err := r.fgstpGeomean(m)
-		if err != nil {
-			return nil, err
+		gm, fails := r.fgstpGeomean(m)
+		for _, f := range fails {
+			failures = append(failures, fmt.Sprintf("q%d/%s", q, f))
 		}
+		total += len(workloads.All())
 		tq.AddRowf(fmt.Sprintf("%d", q), gm)
 		res.metric(fmt.Sprintf("geomean_q%d", q), gm)
 	}
@@ -491,14 +600,16 @@ func (r *runner) e6() (*Result, error) {
 		m := config.Medium()
 		m.FgSTP.Steering = "roundrobin"
 		m.FgSTP.CommBandwidth = bw
-		gm, err := r.fgstpGeomean(m)
-		if err != nil {
-			return nil, err
+		gm, fails := r.fgstpGeomean(m)
+		for _, f := range fails {
+			failures = append(failures, fmt.Sprintf("rr-bw%d/%s", bw, f))
 		}
+		total += len(workloads.All())
 		ts.AddRowf(fmt.Sprintf("%d", bw), gm)
 		res.metric(fmt.Sprintf("geomean_stress_bw%d", bw), gm)
 	}
 	res.Tables = append(res.Tables, ts)
+	degrade(res, failures, total)
 	return res, nil
 }
 
@@ -511,17 +622,21 @@ func (r *runner) e7() (*Result, error) {
 		Notes: []string{"Gains grow with the partitioning window and saturate past the cores' combined ROB reach."},
 	}
 	tb := stats.NewTable("Window sweep", "window", "geomean speedup")
+	var failures []string
+	total := 0
 	for _, win := range []int{64, 128, 256, 512, 1024} {
 		m := config.Medium()
 		m.FgSTP.Window = win
-		gm, err := r.fgstpGeomean(m)
-		if err != nil {
-			return nil, err
+		gm, fails := r.fgstpGeomean(m)
+		for _, f := range fails {
+			failures = append(failures, fmt.Sprintf("win%d/%s", win, f))
 		}
+		total += len(workloads.All())
 		tb.AddRowf(fmt.Sprintf("%d", win), gm)
 		res.metric(fmt.Sprintf("geomean_win%d", win), gm)
 	}
 	res.Tables = append(res.Tables, tb)
+	degrade(res, failures, total)
 	return res, nil
 }
 
@@ -544,17 +659,21 @@ func (r *runner) e8() (*Result, error) {
 		g     stats.Run
 		insts int
 	}
-	rows, err := sched.Map(r.jobs, ws, func(w workloads.Workload) (row, error) {
+	rows, errs := sched.MapAll(r.jobs, ws, func(w workloads.Workload) (row, error) {
 		tr := r.traceOf(w)
-		g, err := cmp.Run(m, cmp.ModeFgSTP, tr)
+		g, err := r.fgstpOf(m, w)
 		return row{g, tr.Len()}, err
 	})
-	if err != nil {
-		return nil, err
-	}
+	var failures []string
 	var balSum, replSum, commSum float64
 	n := 0
 	for i, w := range ws {
+		if errs[i] != nil {
+			fc := failCell(errs[i])
+			tb.AddRow(w.Name, fc, fc, fc, fc, fc, fc)
+			failures = append(failures, fmt.Sprintf("%s: %v", w.Name, errs[i]))
+			continue
+		}
 		g := rows[i].g
 		sq := g.Get("squashes") / float64(rows[i].insts) * 1000
 		tb.AddRowf(w.Name, g.Get("steer_core1_frac"), g.Get("replicated_frac"),
@@ -566,9 +685,12 @@ func (r *runner) e8() (*Result, error) {
 		n++
 	}
 	res.Tables = append(res.Tables, tb)
-	res.metric("mean_core1_frac", balSum/float64(n))
-	res.metric("mean_replicated_frac", replSum/float64(n))
-	res.metric("mean_comm_per_kinst", commSum/float64(n))
+	if n > 0 {
+		res.metric("mean_core1_frac", balSum/float64(n))
+		res.metric("mean_replicated_frac", replSum/float64(n))
+		res.metric("mean_comm_per_kinst", commSum/float64(n))
+	}
+	degrade(res, failures, len(ws))
 	return res, nil
 }
 
@@ -593,17 +715,21 @@ func (r *runner) e9() (*Result, error) {
 		{"store-sets", func(f *config.FgSTP) { f.UseStoreSets = true }},
 		{"perfect", func(f *config.FgSTP) { f.DepPredBits = -1 }},
 	}
+	var failures []string
+	total := 0
 	for _, v := range variants {
 		m := config.Medium()
 		v.mutate(&m.FgSTP)
-		gm, err := r.fgstpGeomean(m)
-		if err != nil {
-			return nil, err
+		gm, fails := r.fgstpGeomean(m)
+		for _, f := range fails {
+			failures = append(failures, fmt.Sprintf("%s/%s", v.name, f))
 		}
+		total += len(workloads.All())
 		tb.AddRowf(v.name, gm)
 		res.metric("geomean_"+v.name, gm)
 	}
 	res.Tables = append(res.Tables, tb)
+	degrade(res, failures, total)
 	return res, nil
 }
 
@@ -616,16 +742,21 @@ func (r *runner) e10() (*Result, error) {
 	}
 	tb := stats.NewTable("Geomean speedups by suite",
 		"machine", "suite", "fgstp/single", "fgstp/fusion")
+	var failures []string
+	total := 0
 	for _, m := range []config.Machine{config.Small(), config.Medium()} {
 		for _, suite := range []string{"int", "fp"} {
 			ws := workloads.Suite(suite)
-			runs, err := r.gridRuns(m, ws, cmp.Modes())
-			if err != nil {
-				return nil, err
-			}
+			runs, fails := r.gridOutcomes(m, ws, cmp.Modes())
+			failures = append(failures, fails...)
+			total += len(ws) * len(cmp.Modes())
 			var spS, spF []float64
 			for i := range ws {
-				s, f, g := runs[i][cmp.ModeSingle], runs[i][cmp.ModeFusion], runs[i][cmp.ModeFgSTP]
+				os, of, og := runs[i][cmp.ModeSingle], runs[i][cmp.ModeFusion], runs[i][cmp.ModeFgSTP]
+				if os.err != nil || of.err != nil || og.err != nil {
+					continue
+				}
+				s, f, g := os.run, of.run, og.run
 				spS = append(spS, stats.Speedup(&s, &g))
 				spF = append(spF, stats.Speedup(&f, &g))
 			}
@@ -635,16 +766,25 @@ func (r *runner) e10() (*Result, error) {
 		}
 	}
 	res.Tables = append(res.Tables, tb)
+	degrade(res, failures, total)
 	return res, nil
 }
 
 // fgstpGeomean runs every workload in single and fgstp mode on machine
 // m (one job per workload, fanned out over the pool) and returns the
-// geomean speedup.
-func (r *runner) fgstpGeomean(m config.Machine) (float64, error) {
-	sp, err := r.speedupsOf(m, workloads.All())
-	if err != nil {
-		return 0, err
+// geomean speedup over the workloads that succeeded, plus a
+// "workload: error" line per failure in workload order.
+func (r *runner) fgstpGeomean(m config.Machine) (float64, []string) {
+	ws := workloads.All()
+	sp, errs := r.speedupOutcomes(m, ws)
+	var ok []float64
+	var failures []string
+	for i, w := range ws {
+		if errs[i] != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", w.Name, errs[i]))
+			continue
+		}
+		ok = append(ok, sp[i])
 	}
-	return stats.Geomean(sp), nil
+	return stats.Geomean(ok), failures
 }

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// The same seed must reproduce the same corruption exactly.
+func TestCorruptBytesDeterministic(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	a := New(42).CorruptBytes(data, 8)
+	b := New(42).CorruptBytes(data, 8)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	c := New(43).CorruptBytes(data, 8)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+	if bytes.Equal(a, data) {
+		t.Error("corruption changed nothing")
+	}
+	// The input must be untouched.
+	for i := range data {
+		if data[i] != byte(i) {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestTruncateStrictlyShorter(t *testing.T) {
+	data := make([]byte, 100)
+	for seed := int64(0); seed < 20; seed++ {
+		out := New(seed).Truncate(data)
+		if len(out) >= len(data) {
+			t.Fatalf("seed %d: truncation not shorter (%d >= %d)", seed, len(out), len(data))
+		}
+	}
+	if out := New(1).Truncate(nil); len(out) != 0 {
+		t.Error("truncating empty input must be empty")
+	}
+}
+
+// Every machine mutation must be caught by config validation.
+func TestMutateMachineAlwaysInvalid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		m := config.Medium()
+		desc := New(seed).MutateMachine(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("seed %d (%s): mutated machine passed validation", seed, desc)
+		}
+	}
+}
+
+func TestChannelStallActivation(t *testing.T) {
+	s := ChannelStall(100)
+	if s.ChannelStalled(0, 99) {
+		t.Error("stalled before From")
+	}
+	if !s.ChannelStalled(0, 100) || !s.ChannelStalled(1, 5000) {
+		t.Error("not stalled after From")
+	}
+	if s.Polls() != 2 {
+		t.Errorf("polls = %d, want 2", s.Polls())
+	}
+}

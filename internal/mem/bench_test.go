@@ -3,7 +3,7 @@ package mem
 import "testing"
 
 func BenchmarkCacheAccessHit(b *testing.B) {
-	c := NewCache(CacheConfig{Name: "b", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3})
+	c := mustCache(b, CacheConfig{Name: "b", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3})
 	c.Access(0x1000, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -12,7 +12,7 @@ func BenchmarkCacheAccessHit(b *testing.B) {
 }
 
 func BenchmarkCacheAccessMissStream(b *testing.B) {
-	c := NewCache(CacheConfig{Name: "b", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3})
+	c := mustCache(b, CacheConfig{Name: "b", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(uint64(i)*64, false)
@@ -20,7 +20,7 @@ func BenchmarkCacheAccessMissStream(b *testing.B) {
 }
 
 func BenchmarkHierarchyLoad(b *testing.B) {
-	h := NewHierarchy(HierarchyConfig{
+	h := mustHier(b, HierarchyConfig{
 		L1I:         CacheConfig{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3},
 		L1D:         CacheConfig{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 3},
 		L2:          CacheConfig{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, LatencyCycles: 12},

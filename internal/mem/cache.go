@@ -81,10 +81,11 @@ type Cache struct {
 	Stats CacheStats
 }
 
-// NewCache builds a cache; it panics on an invalid configuration.
-func NewCache(cfg CacheConfig) *Cache {
+// NewCache builds a cache; it reports an error on an invalid
+// configuration.
+func NewCache(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	sets := cfg.SizeBytes / cfg.LineBytes / cfg.Assoc
 	shift := uint(0)
@@ -96,7 +97,7 @@ func NewCache(cfg CacheConfig) *Cache {
 		sets:      sets,
 		lineShift: shift,
 		lines:     make([]line, sets*cfg.Assoc),
-	}
+	}, nil
 }
 
 // Config returns the cache's configuration.

@@ -50,40 +50,50 @@ type Hierarchy struct {
 	DRAMAccesses uint64
 }
 
-// NewHierarchy builds a private hierarchy from cfg.
-func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+// NewHierarchy builds a private hierarchy from cfg; it reports an
+// error on an invalid configuration.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
+	}
+	l1i, err := NewCache(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, err
 	}
 	return &Hierarchy{
-		L1I:         NewCache(cfg.L1I),
-		L1D:         NewCache(cfg.L1D),
-		L2:          NewCache(cfg.L2),
+		L1I:         l1i,
+		L1D:         l1d,
+		L2:          l2,
 		dramLatency: cfg.DRAMLatency,
 		prefetch:    cfg.NextLinePrefetch,
-	}
+	}, nil
 }
 
 // NewSharedL2Pair builds two hierarchies with private L1s and a single
 // shared L2, each peer-linked to the other's L1D for store
 // invalidations. This is the memory system of the reconfigured 2-core
 // modes (Core Fusion and Fg-STP).
-func NewSharedL2Pair(cfg HierarchyConfig) (*Hierarchy, *Hierarchy) {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
+func NewSharedL2Pair(cfg HierarchyConfig) (*Hierarchy, *Hierarchy, error) {
+	a, err := NewHierarchy(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	l2 := NewCache(cfg.L2)
-	a := &Hierarchy{
-		L1I: NewCache(cfg.L1I), L1D: NewCache(cfg.L1D), L2: l2,
-		dramLatency: cfg.DRAMLatency, prefetch: cfg.NextLinePrefetch,
+	b, err := NewHierarchy(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	b := &Hierarchy{
-		L1I: NewCache(cfg.L1I), L1D: NewCache(cfg.L1D), L2: l2,
-		dramLatency: cfg.DRAMLatency, prefetch: cfg.NextLinePrefetch,
-	}
+	b.L2 = a.L2 // the L2 is shared: both hierarchies alias one cache
 	a.peers = []*Cache{b.L1D}
 	b.peers = []*Cache{a.L1D}
-	return a, b
+	return a, b, nil
 }
 
 // Fetch models an instruction fetch of the line containing pc and

@@ -10,6 +10,33 @@ func smallCache() CacheConfig {
 	return CacheConfig{Name: "t", SizeBytes: 1024, LineBytes: 64, Assoc: 2, LatencyCycles: 2}
 }
 
+func mustCache(tb testing.TB, cfg CacheConfig) *Cache {
+	tb.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		tb.Fatalf("NewCache: %v", err)
+	}
+	return c
+}
+
+func mustHier(tb testing.TB, cfg HierarchyConfig) *Hierarchy {
+	tb.Helper()
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		tb.Fatalf("NewHierarchy: %v", err)
+	}
+	return h
+}
+
+func mustPair(tb testing.TB, cfg HierarchyConfig) (*Hierarchy, *Hierarchy) {
+	tb.Helper()
+	a, b, err := NewSharedL2Pair(cfg)
+	if err != nil {
+		tb.Fatalf("NewSharedL2Pair: %v", err)
+	}
+	return a, b
+}
+
 func TestCacheConfigValidate(t *testing.T) {
 	good := smallCache()
 	if err := good.Validate(); err != nil {
@@ -30,7 +57,7 @@ func TestCacheConfigValidate(t *testing.T) {
 }
 
 func TestCacheHitAfterMiss(t *testing.T) {
-	c := NewCache(smallCache())
+	c := mustCache(t, smallCache())
 	if hit, _ := c.Access(0x1000, false); hit {
 		t.Error("cold access must miss")
 	}
@@ -53,7 +80,7 @@ func TestCacheHitAfterMiss(t *testing.T) {
 func TestCacheLRUReplacement(t *testing.T) {
 	// 2-way: three distinct lines mapping to the same set evict the
 	// least recently used.
-	c := NewCache(smallCache())
+	c := mustCache(t, smallCache())
 	sets := uint64(1024 / 64 / 2) // 8 sets
 	stride := sets * 64
 	a, b, d := uint64(0), stride, 2*stride // all map to set 0
@@ -73,7 +100,7 @@ func TestCacheLRUReplacement(t *testing.T) {
 }
 
 func TestCacheWritebackOnDirtyEviction(t *testing.T) {
-	c := NewCache(smallCache())
+	c := mustCache(t, smallCache())
 	sets := uint64(1024 / 64 / 2)
 	stride := sets * 64
 	c.Access(0, true) // dirty
@@ -88,7 +115,7 @@ func TestCacheWritebackOnDirtyEviction(t *testing.T) {
 }
 
 func TestCacheInvalidate(t *testing.T) {
-	c := NewCache(smallCache())
+	c := mustCache(t, smallCache())
 	c.Access(0x2000, true)
 	if !c.Invalidate(0x2000) {
 		t.Error("invalidate of resident line must return true")
@@ -105,7 +132,7 @@ func TestCacheInvalidate(t *testing.T) {
 }
 
 func TestCacheLookupIsPure(t *testing.T) {
-	c := NewCache(smallCache())
+	c := mustCache(t, smallCache())
 	c.Lookup(0x3000)
 	if c.Stats.Accesses != 0 {
 		t.Error("Lookup must not count as access")
@@ -120,7 +147,7 @@ func TestCacheLookupIsPure(t *testing.T) {
 // exactly the last A distinct lines.
 func TestCacheRetainsLastAssocLines(t *testing.T) {
 	cfg := CacheConfig{Name: "fa", SizeBytes: 4 * 64, LineBytes: 64, Assoc: 4, LatencyCycles: 1}
-	c := NewCache(cfg)
+	c := mustCache(t, cfg)
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		var recent []uint64
@@ -161,7 +188,7 @@ func testHierCfg() HierarchyConfig {
 }
 
 func TestHierarchyLatencies(t *testing.T) {
-	h := NewHierarchy(testHierCfg())
+	h := mustHier(t, testHierCfg())
 	// Cold load: L1 + L2 + DRAM.
 	if lat := h.Load(0x10000); lat != 2+10+100 {
 		t.Errorf("cold load latency %d, want 112", lat)
@@ -177,7 +204,7 @@ func TestHierarchyLatencies(t *testing.T) {
 
 func TestHierarchyL2HitAfterL1Eviction(t *testing.T) {
 	cfg := testHierCfg()
-	h := NewHierarchy(cfg)
+	h := mustHier(t, cfg)
 	// Fill L1D far beyond capacity with distinct lines that fit in L2.
 	for a := uint64(0); a < 16*1024; a += 64 {
 		h.Load(a)
@@ -190,7 +217,7 @@ func TestHierarchyL2HitAfterL1Eviction(t *testing.T) {
 }
 
 func TestHierarchyFetchSeparateFromData(t *testing.T) {
-	h := NewHierarchy(testHierCfg())
+	h := mustHier(t, testHierCfg())
 	h.Load(0x5000)
 	// Fetching the same address goes through L1I, which is cold — but
 	// hits in the now-warm L2.
@@ -203,7 +230,7 @@ func TestHierarchyFetchSeparateFromData(t *testing.T) {
 }
 
 func TestHierarchyStoreWriteAllocate(t *testing.T) {
-	h := NewHierarchy(testHierCfg())
+	h := mustHier(t, testHierCfg())
 	h.Store(0x7000)
 	if lat := h.Load(0x7000); lat != 2 {
 		t.Errorf("load after store latency %d, want 2 (write-allocate)", lat)
@@ -211,7 +238,7 @@ func TestHierarchyStoreWriteAllocate(t *testing.T) {
 }
 
 func TestSharedL2PairInvalidation(t *testing.T) {
-	a, b := NewSharedL2Pair(testHierCfg())
+	a, b := mustPair(t, testHierCfg())
 	if a.L2 != b.L2 {
 		t.Fatal("pair must share the L2")
 	}
@@ -233,7 +260,7 @@ func TestSharedL2PairInvalidation(t *testing.T) {
 func TestNextLinePrefetch(t *testing.T) {
 	cfg := testHierCfg()
 	cfg.NextLinePrefetch = true
-	h := NewHierarchy(cfg)
+	h := mustHier(t, cfg)
 	h.Load(0x20000) // misses; prefetches 0x20040 into L2
 	if h.Prefetches != 1 {
 		t.Fatalf("prefetches = %d, want 1", h.Prefetches)
@@ -259,7 +286,7 @@ func TestHierarchyConfigValidate(t *testing.T) {
 
 // Property: latency of any load is one of the three composition levels.
 func TestHierarchyLatencyLevels(t *testing.T) {
-	h := NewHierarchy(testHierCfg())
+	h := mustHier(t, testHierCfg())
 	rng := rand.New(rand.NewSource(7))
 	valid := map[int]bool{2: true, 12: true, 112: true}
 	for i := 0; i < 5000; i++ {

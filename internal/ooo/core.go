@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/bpred"
@@ -121,10 +122,10 @@ type Core struct {
 }
 
 // NewCore builds a core over its memory hierarchy and fetch stream.
-// hooks may be nil.
-func NewCore(cfg Config, hier *mem.Hierarchy, stream Stream, hooks Hooks) *Core {
+// hooks may be nil. It reports an error on an invalid configuration.
+func NewCore(cfg Config, hier *mem.Hierarchy, stream Stream, hooks Hooks) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	c := &Core{
 		cfg:      cfg,
@@ -139,7 +140,11 @@ func NewCore(cfg Config, hier *mem.Hierarchy, stream Stream, hooks Hooks) *Core 
 		oracle:   cfg.DepPredBits < 0,
 	}
 	if !cfg.ExternalFrontend {
-		c.pred = bpred.New(cfg.Predictor)
+		p, err := bpred.New(cfg.Predictor)
+		if err != nil {
+			return nil, fmt.Errorf("core %s: %w", cfg.Name, err)
+		}
+		c.pred = p
 	}
 	c.mulDivBusy = make([][]int64, cfg.Clusters)
 	c.fpDivBusy = make([][]int64, cfg.Clusters)
@@ -147,7 +152,7 @@ func NewCore(cfg Config, hier *mem.Hierarchy, stream Stream, hooks Hooks) *Core 
 		c.mulDivBusy[k] = make([]int64, cfg.IntMulDiv)
 		c.fpDivBusy[k] = make([]int64, cfg.FPU)
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the core's configuration.
@@ -174,6 +179,11 @@ func (c *Core) Done() bool {
 
 // InFlight returns the number of uops in the ROB.
 func (c *Core) InFlight() int { return len(c.rob) }
+
+// Committed returns the core's committed-instruction count so far; the
+// livelock watchdog polls it every cycle, so it must stay allocation-
+// free (unlike Report, which copies the whole statistics block).
+func (c *Core) Committed() uint64 { return c.rpt.Committed }
 
 // OldestUncommitted returns the GSeq at the head of the ROB, or
 // ok=false when the ROB is empty.

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/isa"
-	"repro/internal/mem"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
@@ -39,9 +38,8 @@ func TestExternalFrontendSkipsPrediction(t *testing.T) {
 	cfg := testConfig()
 	cfg.ExternalFrontend = true
 	run := func(tr *trace.Trace) Report {
-		hier := mem.NewHierarchy(testHier())
-		core := NewCore(cfg, hier, NewTraceStream(tr), nil)
-		Drain(core, tr.Len())
+		core := mustCore(t, cfg, tr)
+		mustDrain(t, core, tr.Len())
 		return core.Report()
 	}
 	rc := run(mk(true))
@@ -51,10 +49,7 @@ func TestExternalFrontendSkipsPrediction(t *testing.T) {
 	if rc.Committed == 0 {
 		t.Error("external frontend core did not run")
 	}
-	if p := func() *Core {
-		hier := mem.NewHierarchy(testHier())
-		return NewCore(cfg, hier, NewTraceStream(mk(false)), nil)
-	}(); p.Predictor() != nil {
+	if p := mustCore(t, cfg, mk(false)); p.Predictor() != nil {
 		t.Error("external frontend core must not build a predictor")
 	}
 }
@@ -78,9 +73,8 @@ func TestClusteredCopySlots(t *testing.T) {
 	cfg := testConfig()
 	cfg.Clusters = 2
 	cfg.CrossClusterBypass = 2
-	hier := mem.NewHierarchy(testHier())
-	core := NewCore(cfg, hier, NewTraceStream(tr), nil)
-	cycles := Drain(core, tr.Len())
+	core := mustCore(t, cfg, tr)
+	cycles := mustDrain(t, core, tr.Len())
 	if core.Report().Committed != uint64(tr.Len()) {
 		t.Fatalf("committed %d of %d", core.Report().Committed, tr.Len())
 	}
@@ -155,14 +149,13 @@ func TestOldestUnfinished(t *testing.T) {
 	b.Addi(isa.R4, isa.R4, 1)
 	b.Halt()
 	tr := trace.Capture(b.MustBuild(), 0)
-	hier := mem.NewHierarchy(testHier())
-	core := NewCore(testConfig(), hier, NewTraceStream(tr), nil)
+	core := mustCore(t, testConfig(), tr)
 	// Early: everything unfinished from seq 0.
 	core.Cycle(0)
 	if g, ok := core.OldestUnfinished(0); !ok && g != 0 {
 		t.Errorf("early frontier = %d/%v", g, ok)
 	}
-	Drain(core, tr.Len())
+	mustDrain(t, core, tr.Len())
 	if _, ok := core.OldestUnfinished(1 << 30); ok {
 		t.Error("drained core still reports unfinished work")
 	}
@@ -184,9 +177,8 @@ func TestRandomProgramsCommit(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		tr := randomTrace(seed, 1500)
 		for si, cfg := range shapes {
-			hier := mem.NewHierarchy(testHier())
-			core := NewCore(cfg, hier, NewTraceStream(tr), nil)
-			Drain(core, tr.Len())
+			core := mustCore(t, cfg, tr)
+			mustDrain(t, core, tr.Len())
 			if got := core.Report().Committed; got != uint64(tr.Len()) {
 				t.Fatalf("seed %d shape %d: committed %d of %d", seed, si, got, tr.Len())
 			}
@@ -239,9 +231,8 @@ func BenchmarkCoreCycleThroughput(b *testing.B) {
 	cfg := testConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hier := mem.NewHierarchy(testHier())
-		core := NewCore(cfg, hier, NewTraceStream(tr), nil)
-		Drain(core, tr.Len())
+		core := mustCore(b, cfg, tr)
+		mustDrain(b, core, tr.Len())
 	}
 	b.ReportMetric(float64(tr.Len()), "insts/op")
 }

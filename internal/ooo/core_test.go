@@ -33,11 +33,35 @@ func testHier() mem.HierarchyConfig {
 	}
 }
 
+// mustCore builds a test core over a fresh test hierarchy; the configs
+// are valid by construction.
+func mustCore(tb testing.TB, cfg Config, tr *trace.Trace) *Core {
+	tb.Helper()
+	hier, err := mem.NewHierarchy(testHier())
+	if err != nil {
+		tb.Fatalf("NewHierarchy: %v", err)
+	}
+	core, err := NewCore(cfg, hier, NewTraceStream(tr), nil)
+	if err != nil {
+		tb.Fatalf("NewCore: %v", err)
+	}
+	return core
+}
+
+// mustDrain drains a core that must complete without livelock.
+func mustDrain(tb testing.TB, core *Core, traceLen int) int64 {
+	tb.Helper()
+	now, err := Drain(core, traceLen)
+	if err != nil {
+		tb.Fatalf("Drain: %v", err)
+	}
+	return now
+}
+
 func run(t *testing.T, cfg Config, tr *trace.Trace) (stats int64, rpt Report) {
 	t.Helper()
-	hier := mem.NewHierarchy(testHier())
-	core := NewCore(cfg, hier, NewTraceStream(tr), nil)
-	now := Drain(core, tr.Len())
+	core := mustCore(t, cfg, tr)
+	now := mustDrain(t, core, tr.Len())
 	return now, core.Report()
 }
 
@@ -432,7 +456,10 @@ func TestRunTraceSummary(t *testing.T) {
 		addi r1, r1, -1
 		bne r1, r0, loop
 		halt`)
-	r := RunTrace(testConfig(), testHier(), tr)
+	r, err := RunTrace(testConfig(), testHier(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Insts != uint64(tr.Len()) {
 		t.Errorf("run insts %d, want %d", r.Insts, tr.Len())
 	}

@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/mem"
@@ -9,34 +10,95 @@ import (
 )
 
 // maxCyclesPerInst bounds simulations against livelock bugs: a run that
-// exceeds this many cycles per trace instruction panics rather than
-// spinning forever.
+// exceeds this many cycles per trace instruction is declared livelocked
+// rather than spinning forever.
 const maxCyclesPerInst = 2000
+
+// LivelockWindow is the no-progress bound of the watchdog: a machine
+// that goes this many consecutive cycles without committing a single
+// instruction is livelocked. No correct configuration can stall a
+// commit that long — the worst legitimate chain (DRAM misses, full
+// queues, channel contention) resolves within a few thousand cycles —
+// so this fires long before the absolute cycle limit and the snapshot
+// it produces describes the stalled state, not millions of cycles of
+// spinning afterwards.
+const LivelockWindow = 100_000
+
+// ErrLivelock is the sentinel every livelock diagnostic wraps; use
+// errors.Is(err, ooo.ErrLivelock) to classify a failed run and
+// errors.As with *ooo.LivelockError / *core.LivelockError for the
+// forensic snapshot.
+var ErrLivelock = errors.New("simulation livelock")
+
+// LivelockError is the single-core watchdog diagnostic: a snapshot of
+// the stalled machine at detection time.
+type LivelockError struct {
+	// Core names the stalled core configuration.
+	Core string
+	// Cycles is the cycle the watchdog fired at; SinceCommit how many
+	// of those elapsed since the last committed instruction.
+	Cycles      int64
+	SinceCommit int64
+	// Committed of TraceLen instructions had retired.
+	Committed uint64
+	TraceLen  int
+	// InFlight is the ROB occupancy at detection.
+	InFlight int
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf(
+		"core %s: livelock at cycle %d (%d cycles without commit; committed %d of %d, %d in flight)",
+		e.Core, e.Cycles, e.SinceCommit, e.Committed, e.TraceLen, e.InFlight)
+}
+
+func (e *LivelockError) Unwrap() error { return ErrLivelock }
 
 // RunTrace simulates tr to completion on a single core built from cfg
 // and hcfg, returning the run summary. This is the baseline
 // configuration of every experiment; the fused and Fg-STP modes live in
 // internal/corefusion and internal/core.
-func RunTrace(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace) stats.Run {
-	hier := mem.NewHierarchy(hcfg)
-	core := NewCore(cfg, hier, NewTraceStream(tr), nil)
-	now := Drain(core, tr.Len())
-	return Summarize(core, tr, "single", now)
+func RunTrace(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace) (stats.Run, error) {
+	hier, err := mem.NewHierarchy(hcfg)
+	if err != nil {
+		return stats.Run{}, err
+	}
+	core, err := NewCore(cfg, hier, NewTraceStream(tr), nil)
+	if err != nil {
+		return stats.Run{}, err
+	}
+	now, err := Drain(core, tr.Len())
+	if err != nil {
+		return stats.Run{}, err
+	}
+	return Summarize(core, tr, "single", now), nil
 }
 
 // Drain cycles the core until it is done and returns the final cycle
-// count. It panics if the simulation livelocks.
-func Drain(core *Core, traceLen int) int64 {
+// count. A livelocked simulation — no commit for LivelockWindow cycles,
+// or the absolute per-instruction cycle limit exceeded — returns a
+// *LivelockError wrapping ErrLivelock instead of spinning forever.
+func Drain(core *Core, traceLen int) (int64, error) {
 	limit := int64(traceLen+1000) * maxCyclesPerInst
-	var now int64
+	var now, lastProgress int64
+	lastCommitted := core.Committed()
 	for ; !core.Done(); now++ {
-		if now > limit {
-			panic(fmt.Sprintf("core %s: livelock after %d cycles (%d committed of %d)",
-				core.Config().Name, now, core.Report().Committed, traceLen))
+		if c := core.Committed(); c != lastCommitted {
+			lastCommitted, lastProgress = c, now
+		}
+		if now-lastProgress > LivelockWindow || now > limit {
+			return now, &LivelockError{
+				Core:        core.Config().Name,
+				Cycles:      now,
+				SinceCommit: now - lastProgress,
+				Committed:   lastCommitted,
+				TraceLen:    traceLen,
+				InFlight:    core.InFlight(),
+			}
 		}
 		core.Cycle(now)
 	}
-	return now
+	return now, nil
 }
 
 // Summarize converts a finished core's report into a stats.Run.

@@ -12,6 +12,11 @@
 //     share nothing but read-only inputs.
 //   - On error, the failure at the lowest submission index is the one
 //     returned, and outstanding (not yet started) work is cancelled.
+//     MapAll is the collect-all-errors variant: every item runs and
+//     every failure is reported, in submission order.
+//   - Callbacks execute under recover: a panicking simulation becomes a
+//     structured *PanicError instead of killing the process, and its
+//     sibling jobs complete normally.
 //
 // Job is the concrete simulation unit; Map is the generic fan-out
 // primitive the experiment harness builds its job lists on; Cache is
@@ -21,6 +26,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,17 +45,42 @@ type Job struct {
 	Machine config.Machine
 	Mode    cmp.Mode
 	Trace   *trace.Trace
-	// Tag labels the job in error messages, e.g. "E2/mcf/fgstp".
+	// Tag labels the job in error messages, e.g. "E2/mcf/fgstp". When
+	// empty, errors carry a default machine/mode/workload tag instead.
 	Tag string
+	// Faults optionally injects deterministic faults into the run
+	// (testing and fault drills); nil simulates normally.
+	Faults cmp.Faults
 }
 
-// Run executes the job and returns its run summary.
-func (j Job) Run() (stats.Run, error) {
-	r, err := cmp.Run(j.Machine, j.Mode, j.Trace)
-	if err != nil && j.Tag != "" {
-		return stats.Run{}, fmt.Errorf("%s: %w", j.Tag, err)
+// tag returns the error label: the explicit Tag, or a default built
+// from the job's machine, mode and trace.
+func (j *Job) tag() string {
+	if j.Tag != "" {
+		return j.Tag
 	}
-	return r, err
+	name := "?"
+	if j.Trace != nil {
+		name = j.Trace.Name
+	}
+	return fmt.Sprintf("%s/%s/%s", j.Machine.Name, j.Mode, name)
+}
+
+// Run executes the job and returns its run summary. On error the
+// summary is always the zero Run and the error is wrapped with the
+// job's tag; a panicking simulation is contained and surfaces as a
+// tagged *PanicError.
+func (j Job) Run() (stats.Run, error) {
+	r, err := protect(j.tag(), func(j Job) (stats.Run, error) {
+		return cmp.RunFaulty(j.Machine, j.Mode, j.Trace, j.Faults)
+	}, j)
+	if err != nil {
+		if pe := (*PanicError)(nil); errors.As(err, &pe) {
+			return stats.Run{}, err // already tagged by protect
+		}
+		return stats.Run{}, fmt.Errorf("%s: %w", j.tag(), err)
+	}
+	return r, nil
 }
 
 // Workers resolves a jobs setting to a worker count: n > 0 is used as
@@ -69,7 +100,8 @@ func Workers(n int) int {
 // On failure the error from the lowest-indexed failed item is returned
 // and outstanding work is cancelled: items not yet started are skipped,
 // items already in flight run to completion and their results are
-// discarded.
+// discarded. A panicking fn is contained and reported like any other
+// failure.
 func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 	n := len(items)
 	out := make([]R, n)
@@ -82,7 +114,7 @@ func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 	}
 	if w == 1 {
 		for i := range items {
-			r, err := fn(items[i])
+			r, err := protect(itemTag(i), fn, items[i])
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +138,7 @@ func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				r, err := fn(items[i])
+				r, err := protect(itemTag(i), fn, items[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -125,8 +157,65 @@ func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 	return out, nil
 }
 
+// itemTag labels an anonymous Map item in contained-panic errors.
+func itemTag(i int) string { return fmt.Sprintf("item %d", i) }
+
+// MapAll is the collect-all-errors variant of Map: every item runs to
+// completion regardless of failures elsewhere, results land in
+// submission order (the zero R at failed indexes), and errs is aligned
+// with items — errs[i] is non-nil exactly when item i failed. Panics
+// are contained like in Map. Use JoinErrors(errs) for a single
+// deterministic aggregate error. This is the degradation primitive:
+// one poisoned simulation yields one FAIL cell, not a dead experiment.
+func MapAll[T, R any](workers int, items []T, fn func(T) (R, error)) (out []R, errs []error) {
+	n := len(items)
+	out = make([]R, n)
+	errs = make([]error, n)
+	if n == 0 {
+		return out, errs
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := range items {
+			out[i], errs[i] = protect(itemTag(i), fn, items[i])
+		}
+		return out, errs
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = protect(itemTag(i), fn, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errs
+}
+
 // RunJobs fans the job list out over workers (<= 0 picks GOMAXPROCS)
 // and returns the run summaries in submission order.
 func RunJobs(workers int, jobs []Job) ([]stats.Run, error) {
 	return Map(workers, jobs, Job.Run)
+}
+
+// RunJobsAll fans the job list out like RunJobs but collects every
+// failure instead of cancelling on the first: errs[i] is non-nil
+// exactly when jobs[i] failed, and the other jobs' summaries are still
+// returned.
+func RunJobsAll(workers int, jobs []Job) ([]stats.Run, []error) {
+	return MapAll(workers, jobs, Job.Run)
 }

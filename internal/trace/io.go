@@ -124,13 +124,21 @@ func Load(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
 	}
 
-	t := &Trace{Name: string(name), Insts: make([]isa.DynInst, count)}
+	// The header count is untrusted: allocate incrementally (bounded
+	// initial capacity) so a crafted header cannot force a giant
+	// up-front allocation before the record stream proves itself.
+	const maxPrealloc = 1 << 20
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	t := &Trace{Name: string(name), Insts: make([]isa.DynInst, 0, prealloc)}
 	var rec instRecord
 	for i := uint64(0); i < count; i++ {
 		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
 			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
 		}
-		t.Insts[i] = isa.DynInst{
+		d := isa.DynInst{
 			Seq: i, PC: rec.PC, Addr: rec.Addr, Target: rec.Target,
 			NextPC: rec.NextPC, Class: isa.Class(rec.Class),
 			Dst: isa.Reg(rec.Dst), Src1: isa.Reg(rec.Src1),
@@ -138,6 +146,17 @@ func Load(r io.Reader) (*Trace, error) {
 			Taken: rec.Flags&1 != 0, Indirect: rec.Flags&2 != 0,
 			IsCall: rec.Flags&4 != 0, IsRet: rec.Flags&8 != 0,
 		}
+		// The timing models index latency and scoreboard tables by
+		// Class and Reg; out-of-range values must die here, not there.
+		if int(d.Class) >= isa.NumClasses {
+			return nil, fmt.Errorf("trace: record %d: invalid class %d", i, rec.Class)
+		}
+		for _, r := range [...]isa.Reg{d.Dst, d.Src1, d.Src2, d.Src3} {
+			if !r.Valid() && r != isa.RegNone {
+				return nil, fmt.Errorf("trace: record %d: invalid register %d", i, uint8(r))
+			}
+		}
+		t.Insts = append(t.Insts, d)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

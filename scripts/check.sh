@@ -8,6 +8,11 @@
 #                   on every machine mode at once
 #   bench smoke     one iteration of the E2 benchmark, proving the
 #                   experiment harness end-to-end
+#   fuzz smoke      5s of the trace-loader fuzzer: corrupt bytes must
+#                   error, never panic
+#   degraded smoke  fgstpbench with an injected livelock must finish
+#                   the experiment, exit 1, and print byte-identical
+#                   reports for -jobs 1 and -jobs 4
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,5 +27,25 @@ go test -race ./...
 
 echo "== bench smoke (E2, 1 iteration)"
 go test -run='^$' -bench=E2 -benchtime=1x .
+
+echo "== fuzz smoke (trace loader, 5s)"
+go test -run='^$' -fuzz=FuzzTraceLoad -fuzztime=5s ./internal/trace
+
+echo "== degraded-run smoke (injected livelock, exit 1, jobs-determinism)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/fgstpbench" ./cmd/fgstpbench
+status=0
+"$tmp/fgstpbench" -experiment E8 -insts 3000 -inject gobmk -jobs 1 \
+    >"$tmp/degraded1.txt" 2>/dev/null || status=$?
+[ "$status" -eq 1 ] || { echo "degraded run exited $status, want 1"; exit 1; }
+status=0
+"$tmp/fgstpbench" -experiment E8 -insts 3000 -inject gobmk -jobs 4 \
+    >"$tmp/degraded4.txt" 2>/dev/null || status=$?
+[ "$status" -eq 1 ] || { echo "degraded run (-jobs 4) exited $status, want 1"; exit 1; }
+cmp "$tmp/degraded1.txt" "$tmp/degraded4.txt" || {
+    echo "degraded output differs between -jobs 1 and -jobs 4"; exit 1; }
+grep -q 'FAIL(livelock)' "$tmp/degraded1.txt" || {
+    echo "degraded output missing FAIL(livelock) cell"; exit 1; }
 
 echo "check: ok"
