@@ -5,8 +5,9 @@
 //
 // Experiments fan their independent simulations out over a worker pool
 // (internal/sched); -jobs sets the worker count. Results are
-// byte-identical for any -jobs value, so stdout can be diffed between
-// serial and parallel runs — wall-time reporting goes to stderr.
+// byte-identical for any -jobs value and any -format, so stdout can be
+// diffed between serial and parallel runs — wall-time and memory
+// reporting goes to stderr.
 //
 // Usage:
 //
@@ -16,8 +17,11 @@
 //	fgstpbench -experiment E12         # extension: adaptive reconfiguration
 //	fgstpbench -insts 50000            # per-run instruction budget
 //	fgstpbench -jobs 8                 # worker goroutines (default GOMAXPROCS)
+//	fgstpbench -format json            # machine-readable output (text, json, csv)
 //	fgstpbench -list                   # enumerate experiments
 //	fgstpbench -inject mcf             # poison one workload (fault-injection demo)
+//	fgstpbench -cpuprofile cpu.pprof   # write a CPU profile (go tool pprof)
+//	fgstpbench -memprofile mem.pprof   # write a heap profile at exit
 //
 // Failed simulation cells never abort the evaluation: they render as
 // FAIL(reason) in the tables, drop out of the geomeans (noted per
@@ -32,20 +36,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so the profile-writing defers execute
+// before the process exits.
+func run() int {
 	var (
-		exp    = flag.String("experiment", "all", "experiment id (E1..E10) or \"all\"")
-		insts  = flag.Uint64("insts", 100_000, "dynamic instructions per simulation")
-		jobs   = flag.Int("jobs", 0, "worker goroutines for simulation fan-out (<= 0: GOMAXPROCS)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		inject = flag.String("inject", "", "poison this workload: its Fg-STP runs get a stalled inter-core channel")
+		exp        = flag.String("experiment", "all", "experiment id (E1..E10) or \"all\"")
+		insts      = flag.Uint64("insts", 100_000, "dynamic instructions per simulation")
+		jobs       = flag.Int("jobs", 0, "worker goroutines for simulation fan-out (<= 0: GOMAXPROCS)")
+		format     = flag.String("format", "text", "output format: text, json or csv")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		inject     = flag.String("inject", "", "poison this workload: its Fg-STP runs get a stalled inter-core channel")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -56,7 +72,44 @@ func main() {
 		for _, id := range experiments.ExtensionIDs() {
 			fmt.Println(id + " (extension)")
 		}
-		return
+		return 0
+	}
+
+	valid := false
+	for _, f := range experiments.Formats() {
+		valid = valid || f == *format
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "fgstpbench: unknown -format %q (want text, json or csv)\n", *format)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgstpbench:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fgstpbench:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fgstpbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fgstpbench:", err)
+			}
+		}()
 	}
 
 	ids := experiments.IDs()
@@ -71,30 +124,40 @@ func main() {
 	if *inject != "" {
 		if _, ok := workloads.ByName(*inject); !ok {
 			fmt.Fprintf(os.Stderr, "fgstpbench: unknown workload %q for -inject\n", *inject)
-			os.Exit(2)
+			return 2
 		}
 		session.Poison(*inject)
 	}
 	fmt.Fprintf(os.Stderr, "fgstpbench: %d worker(s)\n", sched.Workers(*jobs))
 	total := time.Now()
 	failedCells := 0
+	results := make([]*experiments.Result, 0, len(ids))
 	for _, id := range ids {
 		start := time.Now()
 		res, err := session.Run(id)
 		if err != nil {
 			// Unknown experiment id: a usage error, not a degraded run.
 			fmt.Fprintln(os.Stderr, "fgstpbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		failedCells += len(res.Failures)
-		fmt.Print(res.String())
-		fmt.Println()
+		results = append(results, res)
 		fmt.Fprintf(os.Stderr, "fgstpbench: %s in %.2fs\n", id, time.Since(start).Seconds())
+	}
+	// Render at the end so stdout carries only the chosen format;
+	// timing lives on stderr either way.
+	if err := experiments.WriteFormat(os.Stdout, *format, *insts, results); err != nil {
+		fmt.Fprintln(os.Stderr, "fgstpbench:", err)
+		return 2
 	}
 	fmt.Fprintf(os.Stderr, "fgstpbench: total %.2fs (%d experiment(s), -jobs %d)\n",
 		time.Since(total).Seconds(), len(ids), sched.Workers(*jobs))
+	if rss, ok := metrics.PeakRSS(); ok {
+		fmt.Fprintf(os.Stderr, "fgstpbench: peak RSS %.1f MiB\n", float64(rss)/(1<<20))
+	}
 	if failedCells > 0 {
 		fmt.Fprintf(os.Stderr, "fgstpbench: %d simulation cell(s) failed; see FAIL lines above\n", failedCells)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -11,9 +11,15 @@
 //	-insts    n      dynamic instructions to simulate (default 100000)
 //	-jobs     n      worker goroutines when running several modes
 //	                 (default GOMAXPROCS; output is identical for any n)
+//	-format   name   output format: text | json | csv (default text)
 //	-config   file   JSON machine config overriding -machine
 //	-savetrace file  capture the workload trace to a file and exit
 //	-loadtrace file  replay a previously saved trace
+//	-tracejson file  write a Chrome trace-event file of the pipeline
+//	                 (open in Perfetto or chrome://tracing; traces the
+//	                 fgstp mode, or the single selected -mode)
+//	-cpuprofile file write a CPU profile (go tool pprof)
+//	-memprofile file write a heap profile at exit
 //	-dumpconfig      print the machine preset as JSON and exit
 //	-list            list workloads and exit
 //	-inject  fault   inject a fault: "livelock" stalls the Fg-STP
@@ -29,88 +35,145 @@
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 
 	"repro/internal/cmp"
 	"repro/internal/config"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
+// SimSchemaVersion identifies the fgstpsim machine-readable export
+// format (the bench tool has its own, experiments.SchemaVersion).
+const SimSchemaVersion = "fgstp.sim/1"
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so the profile-writing defers execute
+// before the process exits.
+func run() int {
 	var (
 		workload   = flag.String("workload", "mcf", "workload name (-list to enumerate)")
 		machine    = flag.String("machine", "medium", "machine preset: small | medium")
 		mode       = flag.String("mode", "all", "execution mode: single | corefusion | fgstp | all")
 		insts      = flag.Uint64("insts", 100_000, "dynamic instructions to simulate")
 		jobs       = flag.Int("jobs", 0, "worker goroutines when running several modes (<= 0: GOMAXPROCS)")
+		format     = flag.String("format", "text", "output format: text, json or csv")
 		configPath = flag.String("config", "", "JSON machine configuration file")
 		dumpConfig = flag.Bool("dumpconfig", false, "print the machine preset as JSON and exit")
 		list       = flag.Bool("list", false, "list workloads and exit")
 		saveTrace  = flag.String("savetrace", "", "capture the workload trace to this file and exit")
 		loadTrace  = flag.String("loadtrace", "", "replay a trace file instead of capturing the workload")
+		traceJSON  = flag.String("tracejson", "", "write a Chrome trace-event file of the pipeline to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		inject     = flag.String("inject", "", "fault to inject: \"livelock\" stalls the Fg-STP inter-core channel")
 	)
 	flag.Parse()
 
 	if *list {
 		listWorkloads()
-		return
+		return 0
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "fgstpsim: unknown -format %q (want text, json or csv)\n", *format)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fgstpsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fgstpsim:", err)
+			}
+		}()
 	}
 
 	m, err := loadMachine(*machine, *configPath)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if *dumpConfig {
 		data, err := m.ToJSON()
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println(string(data))
-		return
+		return 0
 	}
 
+	// Banner lines stay off stdout for machine-readable formats, so
+	// json/csv output parses as-is.
+	banner := os.Stdout
+	if *format != "text" {
+		banner = os.Stderr
+	}
 	var tr *trace.Trace
 	if *loadTrace != "" {
 		var err error
 		tr, err = trace.LoadFile(*loadTrace)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Printf("trace    %s (%d instructions from %s)\n", tr.Name, tr.Len(), *loadTrace)
-		fmt.Printf("machine  %s\n\n", m.Name)
+		fmt.Fprintf(banner, "trace    %s (%d instructions from %s)\n", tr.Name, tr.Len(), *loadTrace)
+		fmt.Fprintf(banner, "machine  %s\n\n", m.Name)
 	} else {
 		w, ok := workloads.ByName(*workload)
 		if !ok {
-			fatal(fmt.Errorf("unknown workload %q (use -list)", *workload))
+			return fatal(fmt.Errorf("unknown workload %q (use -list)", *workload))
 		}
-		fmt.Printf("workload %s (%s): %s\n", w.Name, w.Suite, w.Description)
-		fmt.Printf("machine  %s, %d instructions\n\n", m.Name, *insts)
+		fmt.Fprintf(banner, "workload %s (%s): %s\n", w.Name, w.Suite, w.Description)
+		fmt.Fprintf(banner, "machine  %s, %d instructions\n\n", m.Name, *insts)
 		tr = w.Trace(*insts)
 		if uint64(tr.Len()) < *insts {
-			fmt.Printf("note: timed region ended after %d instructions\n\n", tr.Len())
+			fmt.Fprintf(banner, "note: timed region ended after %d instructions\n\n", tr.Len())
 		}
 	}
 	if *saveTrace != "" {
 		if err := tr.SaveFile(*saveTrace); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Printf("trace saved to %s\n", *saveTrace)
-		return
+		return 0
 	}
 
 	modes := []cmp.Mode{cmp.ModeSingle, cmp.ModeFusion, cmp.ModeFgSTP}
 	if *mode != "all" {
 		md, err := cmp.ParseMode(*mode)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		modes = []cmp.Mode{md}
 	}
@@ -118,7 +181,7 @@ func main() {
 	switch *inject {
 	case "", "livelock":
 	default:
-		fatal(fmt.Errorf("unknown fault %q for -inject (want \"livelock\")", *inject))
+		return fatal(fmt.Errorf("unknown fault %q for -inject (want \"livelock\")", *inject))
 	}
 
 	// The modes are independent simulations over the same read-only
@@ -133,11 +196,70 @@ func main() {
 		}
 	}
 	runs, errs := sched.RunJobsAll(*jobs, jl)
+
+	if *traceJSON != "" {
+		// Re-simulate the traced mode with the event recorder attached
+		// (instrumentation never perturbs timing, so the trace matches
+		// the report above).
+		traced := modes[len(modes)-1]
+		if err := writeChromeTrace(*traceJSON, m, traced, tr); err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fgstpsim: pipeline trace (%s mode) written to %s\n", traced, *traceJSON)
+	}
+
 	failed := 0
+	for i := range errs {
+		if errs[i] != nil {
+			failed++
+		}
+	}
+	switch *format {
+	case "json":
+		if err := writeJSON(os.Stdout, m.Name, tr, modes, runs, errs); err != nil {
+			return fatal(err)
+		}
+	case "csv":
+		if err := writeCSV(os.Stdout, modes, runs, errs); err != nil {
+			return fatal(err)
+		}
+	default:
+		printText(modes, runs, errs)
+	}
+	if rss, ok := metrics.PeakRSS(); ok {
+		fmt.Fprintf(os.Stderr, "fgstpsim: peak RSS %.1f MiB\n", float64(rss)/(1<<20))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fgstpsim: %d of %d mode(s) failed\n", failed, len(modes))
+		return 1
+	}
+	return 0
+}
+
+// writeChromeTrace records one instrumented run of md and writes the
+// events as a Chrome trace-event file (Perfetto, chrome://tracing).
+func writeChromeTrace(path string, m config.Machine, md cmp.Mode, tr *trace.Trace) error {
+	rec := &metrics.Recorder{}
+	if _, err := cmp.RunTraced(m, md, tr, rec); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta := map[string]string{
+		"workload": tr.Name,
+		"machine":  m.Name,
+		"mode":     string(md),
+	}
+	return metrics.WriteChromeTraceRecorder(f, rec, meta)
+}
+
+func printText(modes []cmp.Mode, runs []stats.Run, errs []error) {
 	for i := range runs {
 		if errs[i] != nil {
 			fmt.Printf("[%s] FAILED: %v\n\n", modes[i], errs[i])
-			failed++
 			continue
 		}
 		printRun(&runs[i])
@@ -154,10 +276,72 @@ func main() {
 				runs[i].Mode, base.Mode, stats.Speedup(base, &runs[i]))
 		}
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "fgstpsim: %d of %d mode(s) failed\n", failed, len(modes))
-		os.Exit(1)
+}
+
+// writeJSON emits the runs as one JSON document; failed modes carry an
+// error string instead of a run.
+func writeJSON(w *os.File, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	type modeResult struct {
+		Mode  string     `json:"mode"`
+		Error string     `json:"error,omitempty"`
+		Run   *stats.Run `json:"run,omitempty"`
 	}
+	doc := struct {
+		Schema   string       `json:"schema"`
+		Workload string       `json:"workload"`
+		Machine  string       `json:"machine"`
+		Insts    int          `json:"insts"`
+		Results  []modeResult `json:"results"`
+	}{Schema: SimSchemaVersion, Workload: tr.Name, Machine: machine, Insts: tr.Len()}
+	for i, md := range modes {
+		mr := modeResult{Mode: string(md)}
+		if errs[i] != nil {
+			mr.Error = errs[i].Error()
+		} else {
+			mr.Run = &runs[i]
+		}
+		doc.Results = append(doc.Results, mr)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// writeCSV emits one summary record per mode plus one record per
+// metric, mirroring the bench tool's flat-record CSV shape.
+func writeCSV(w *os.File, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"schema", SimSchemaVersion}); err != nil {
+		return err
+	}
+	for i, md := range modes {
+		if errs[i] != nil {
+			if err := cw.Write([]string{string(md), "error", errs[i].Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		r := &runs[i]
+		rec := []string{string(md), "summary",
+			strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Insts, 10),
+			strconv.FormatFloat(r.IPC(), 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+		for _, s := range r.Metrics.Sorted() {
+			rec := []string{string(md), "metric", s.Name,
+				strconv.FormatFloat(s.Value, 'g', -1, 64)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func loadMachine(preset, path string) (config.Machine, error) {
@@ -181,20 +365,15 @@ func listWorkloads() {
 
 func printRun(r *stats.Run) {
 	fmt.Printf("[%s] cycles=%d insts=%d IPC=%.3f\n", r.Mode, r.Cycles, r.Insts, r.IPC())
-	keys := make([]string, 0, len(r.Extra))
-	for k := range r.Extra {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("    %-24s %.4f\n", k, r.Extra[k])
+	for _, s := range r.Metrics.Sorted() {
+		fmt.Printf("    %-24s %.4f\n", s.Name, s.Value)
 	}
 	fmt.Println()
 }
 
 // fatal reports a setup/usage error (exit 2 — distinct from exit 1,
 // which means the report completed with failed simulations).
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "fgstpsim:", err)
-	os.Exit(2)
+	return 2
 }

@@ -7,16 +7,21 @@
 //
 // Output columns per cycle, for each core: issued uops that cycle as a
 // bar (one '#' per uop), and the committed-instruction running totals.
+// The footer breaks each core's cycles down by CPI-stack bucket, and
+// -tracejson writes the run's pipeline events as a Chrome trace-event
+// file (open in Perfetto or chrome://tracing).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/workloads"
 )
 
@@ -25,6 +30,7 @@ func main() {
 	insts := flag.Uint64("insts", 3_000, "instructions to simulate")
 	cycles := flag.Int("cycles", 120, "cycles of timeline to print (after warmup)")
 	warmup := flag.Int("warmup", 0, "extra cycles to skip after first activity")
+	traceJSON := flag.String("tracejson", "", "write a Chrome trace-event file of the pipeline to this file")
 	flag.Parse()
 
 	w, ok := workloads.ByName(*name)
@@ -35,6 +41,11 @@ func main() {
 	m, err := core.NewMachine(config.Medium(), tr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var rec *metrics.Recorder
+	if *traceJSON != "" {
+		rec = &metrics.Recorder{}
+		m.SetEventSink(rec)
 	}
 
 	fmt.Printf("workload %s — per-cycle issue activity (medium Fg-STP pair)\n", w.Name)
@@ -83,6 +94,27 @@ func main() {
 	}
 	fmt.Printf("\nfinished: %d instructions in %d cycles (IPC %.3f), %d squashes\n",
 		tr.Len(), now, float64(tr.Len())/float64(now), m.Squashes())
+
+	fmt.Println("\ncycle breakdown (CPI stack):")
+	for i, rpt := range m.CoreReports() {
+		fmt.Printf("  core %d: active %d, fetch-starved %d, issue-wait %d, "+
+			"channel-wait %d, execute %d, commit-blocked %d\n",
+			i, rpt.CyclesActive, rpt.CyclesFetchStarved, rpt.CyclesIssueWait,
+			rpt.CyclesChannelWait, rpt.CyclesExecute, rpt.CyclesCommitBlocked)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		meta := map[string]string{"workload": w.Name, "machine": "medium", "mode": "fgstp"}
+		if err := metrics.WriteChromeTraceRecorder(f, rec, meta); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pipeline trace written to %s\n", *traceJSON)
+	}
 }
 
 func squashStr(n uint64) string {

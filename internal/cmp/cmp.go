@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/corefusion"
+	"repro/internal/metrics"
 	"repro/internal/ooo"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -63,6 +64,17 @@ func Run(m config.Machine, mode Mode, tr *trace.Trace) (stats.Run, error) {
 // RunFaulty simulates like Run with a fault injector installed (nil
 // behaves exactly like Run).
 func RunFaulty(m config.Machine, mode Mode, tr *trace.Trace, f Faults) (stats.Run, error) {
+	return runWith(m, mode, tr, f, nil)
+}
+
+// RunTraced simulates like Run with a pipeline event sink attached to
+// the machine under test (nil behaves exactly like Run); the events
+// render into a Chrome trace via metrics.WriteChromeTrace.
+func RunTraced(m config.Machine, mode Mode, tr *trace.Trace, sink metrics.Sink) (stats.Run, error) {
+	return runWith(m, mode, tr, nil, sink)
+}
+
+func runWith(m config.Machine, mode Mode, tr *trace.Trace, f Faults, sink metrics.Sink) (stats.Run, error) {
 	if err := m.Validate(); err != nil {
 		return stats.Run{}, err
 	}
@@ -71,11 +83,11 @@ func RunFaulty(m config.Machine, mode Mode, tr *trace.Trace, f Faults) (stats.Ru
 	}
 	switch mode {
 	case ModeSingle:
-		return ooo.RunTrace(m.Core, m.Hier, tr)
+		return ooo.RunTraceInstrumented(m.Core, m.Hier, tr, sink)
 	case ModeFusion:
-		return corefusion.Run(m, tr)
+		return corefusion.RunInstrumented(m, tr, sink)
 	case ModeFgSTP:
-		return core.RunFaulty(m, tr, f)
+		return core.RunInstrumented(m, tr, f, sink)
 	default:
 		return stats.Run{}, fmt.Errorf("unknown mode %q", mode)
 	}

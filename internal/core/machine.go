@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/ooo"
 	"repro/internal/trace"
 )
@@ -121,6 +122,11 @@ type Machine struct {
 	// fault drills; see internal/faults).
 	faults Faults
 
+	// sink, when non-nil, receives the machine's pipeline event stream
+	// (steering, replication, value transfers, squashes, violations);
+	// the cores additionally emit their issue/commit events into it.
+	sink metrics.Sink
+
 	// Last-squash forensics for the livelock watchdog snapshot.
 	lastSquashGSeq  uint64
 	lastSquashCycle int64
@@ -194,7 +200,7 @@ func NewMachine(cfg config.Machine, tr *trace.Trace) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.seq.onDeliver = func(d *isa.DynInst, gseq uint64, home int) {
+	m.seq.onDeliver = func(d *isa.DynInst, gseq uint64, home int, replica bool, now int64) {
 		if d.IsStore() {
 			m.pendingStores[home].add(gseq)
 			if m.storeSets != nil {
@@ -202,6 +208,18 @@ func NewMachine(cfg config.Machine, tr *trace.Trace) (*Machine, error) {
 				if set := m.storeSets.SetOf(d.PC); set >= 0 {
 					m.ssLast[set] = gseq
 				}
+			}
+		}
+		if m.sink != nil {
+			m.sink.Emit(metrics.Event{
+				Cycle: now, Core: home, Kind: metrics.EvSteer,
+				GSeq: gseq, Detail: d.Class.String(),
+			})
+			if replica {
+				m.sink.Emit(metrics.Event{
+					Cycle: now, Core: 1 - home, Kind: metrics.EvReplicate,
+					GSeq: gseq, Detail: d.Class.String(),
+				})
 			}
 		}
 	}
@@ -221,6 +239,15 @@ func NewMachine(cfg config.Machine, tr *trace.Trace) (*Machine, error) {
 // SetFaults installs a fault injector; call it before Drain. A nil
 // injector (the default) simulates normally.
 func (m *Machine) SetFaults(f Faults) { m.faults = f }
+
+// SetEventSink installs a pipeline event sink on the machine and both
+// cores; call it before Drain. A nil sink (the default) disables
+// emission entirely.
+func (m *Machine) SetEventSink(sink metrics.Sink) {
+	m.sink = sink
+	m.cores[0].SetEventSink(sink, 0)
+	m.cores[1].SetEventSink(sink, 1)
+}
 
 // expected returns how many commits gseq requires (2 when replicated).
 func (m *Machine) expected(gseq uint64) int {
@@ -265,6 +292,12 @@ func (m *Machine) applySquash(now int64) {
 	m.hasSquash = false
 	m.GlobalSquashes++
 	m.lastSquashGSeq, m.lastSquashCycle = g, now
+	if m.sink != nil {
+		m.sink.Emit(metrics.Event{
+			Cycle: now, Core: metrics.MachineScope, Kind: metrics.EvSquash,
+			GSeq: g, Detail: "global",
+		})
+	}
 
 	m.cores[0].SquashFrom(g, now)
 	m.cores[1].SquashFrom(g, now)
@@ -358,13 +391,32 @@ func (h *coreHooks) ExtReadyAt(u *ooo.UOp, srcIdx int, now int64) int64 {
 			// the committed state merge; charge one transfer from now.
 			t := m.chans[h.id].grant(now)
 			m.deliver[h.id][p] = t
+			m.emitTransfer(now, t, h.id, p)
 			return t
 		}
 		return farFuture
 	}
 	t := m.chans[h.id].grant(ct)
 	m.deliver[h.id][p] = t
+	m.emitTransfer(ct, t, h.id, p)
 	return t
+}
+
+// emitTransfer records a value crossing the inter-core channel into
+// core dst: the span runs from the producer's completion (or the grant
+// request) to the delivery cycle.
+func (m *Machine) emitTransfer(from, until int64, dst int, producer uint64) {
+	if m.sink == nil {
+		return
+	}
+	dur := until - from
+	if dur < 0 {
+		dur = 0
+	}
+	m.sink.Emit(metrics.Event{
+		Cycle: from, Dur: dur, Core: dst, Kind: metrics.EvTransfer,
+		GSeq: producer, Detail: "value",
+	})
 }
 
 // LoadGate implements ooo.Hooks: cross-core memory-dependence
@@ -442,7 +494,7 @@ func (h *coreHooks) OnIssue(u *ooo.UOp, now int64) {
 		if m.unissuedStore != nil {
 			delete(m.unissuedStore, u.GSeq())
 		}
-		m.checkRemoteViolation(u, 1-h.id)
+		m.checkRemoteViolation(u, 1-h.id, now)
 	}
 	if m.seq.blocked && m.seq.blockedOn == u.GSeq() && !u.Item.Replica {
 		m.seq.resolveBranch(u.GSeq(), u.CompleteAt())
@@ -452,7 +504,7 @@ func (h *coreHooks) OnIssue(u *ooo.UOp, now int64) {
 // checkRemoteViolation looks for issued loads on the other core that
 // are younger than the just-resolved store and read the same address
 // with stale data.
-func (m *Machine) checkRemoteViolation(s *ooo.UOp, otherCore int) {
+func (m *Machine) checkRemoteViolation(s *ooo.UOp, otherCore int, now int64) {
 	var victim *ooo.UOp
 	for _, l := range m.issuedLoads[otherCore] {
 		if l.GSeq() <= s.GSeq() || l.DI().Addr != s.DI().Addr {
@@ -469,6 +521,12 @@ func (m *Machine) checkRemoteViolation(s *ooo.UOp, otherCore int) {
 		return
 	}
 	m.CrossViolations++
+	if m.sink != nil {
+		m.sink.Emit(metrics.Event{
+			Cycle: now, Core: otherCore, Kind: metrics.EvViolation,
+			GSeq: victim.GSeq(), Detail: "cross-core load/store",
+		})
+	}
 	m.depPred.Violation(victim.DI().PC)
 	if m.storeSets != nil {
 		m.storeSets.Union(victim.DI().PC, s.DI().PC)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -244,7 +245,7 @@ func TestFgstpSummaryCounters(t *testing.T) {
 	r := m.Summarize(cycles)
 	for _, key := range []string{"steer_core1_frac", "replicated_frac",
 		"remote_dep_frac", "comm_per_kinst", "bpred_accuracy"} {
-		if _, ok := r.Extra[key]; !ok {
+		if !r.Has(key) {
 			t.Errorf("summary missing %q", key)
 		}
 	}
@@ -390,5 +391,75 @@ func TestFgstpStoreSetsMode(t *testing.T) {
 		if m.GlobalSquashes > uint64(tr.Len()/20) {
 			t.Errorf("%s: %d squashes — store sets not converging", name, m.GlobalSquashes)
 		}
+	}
+}
+
+// CPI-stack accounting: every simulated cycle of each core lands in
+// exactly one attribution bucket, so the six buckets sum to the core's
+// total cycles — the invariant the observability exports rely on.
+func TestFgstpCycleAttributionSums(t *testing.T) {
+	for _, name := range []string{"milc", "gobmk"} {
+		tr := wkTrace(t, name, 10_000)
+		m := mustMachine(t, config.Medium(), tr)
+		cycles := mustDrainM(t, m)
+		for i, rpt := range m.CoreReports() {
+			if rpt.Cycles != cycles {
+				t.Errorf("%s core%d: report cycles %d != machine cycles %d",
+					name, i, rpt.Cycles, cycles)
+			}
+			if got := rpt.AttributedCycles(); got != rpt.Cycles {
+				t.Errorf("%s core%d: attributed %d cycles of %d (active %d, "+
+					"fetch-starved %d, issue-wait %d, channel-wait %d, execute %d, "+
+					"commit-blocked %d)",
+					name, i, got, rpt.Cycles, rpt.CyclesActive, rpt.CyclesFetchStarved,
+					rpt.CyclesIssueWait, rpt.CyclesChannelWait, rpt.CyclesExecute,
+					rpt.CyclesCommitBlocked)
+			}
+		}
+	}
+}
+
+// The event stream reconciles with machine statistics: one steer per
+// delivered instruction net of squash redeliveries, one commit per
+// retired uop, squash events matching the global squash count — and a
+// traced run stays cycle-identical to an untraced one.
+func TestFgstpEventStream(t *testing.T) {
+	tr := wkTrace(t, "omnetpp", 10_000)
+	base := drainNew(t, config.Medium(), tr)
+
+	rec := &metrics.Recorder{}
+	m := mustMachine(t, config.Medium(), tr)
+	m.SetEventSink(rec)
+	cycles := mustDrainM(t, m)
+	if cycles != base {
+		t.Errorf("tracing perturbed timing: %d vs %d cycles", cycles, base)
+	}
+	if rec.Dropped != 0 {
+		t.Fatalf("recorder dropped %d events", rec.Dropped)
+	}
+	counts := map[metrics.Kind]uint64{}
+	var globalSquashes uint64
+	for _, ev := range rec.Events {
+		counts[ev.Kind]++
+		if ev.Kind == metrics.EvSquash && ev.Core == metrics.MachineScope {
+			globalSquashes++
+		}
+	}
+	if got, want := counts[metrics.EvSteer], m.seq.Delivered; got != want {
+		t.Errorf("steer events %d != delivered %d", got, want)
+	}
+	if got, want := counts[metrics.EvReplicate], m.seq.ReplicaDeliveries; got != want {
+		t.Errorf("replicate events %d != replica deliveries %d", got, want)
+	}
+	if globalSquashes != m.GlobalSquashes {
+		t.Errorf("machine-scope squash events %d != global squashes %d",
+			globalSquashes, m.GlobalSquashes)
+	}
+	rpt := m.CoreReports()
+	if got, want := counts[metrics.EvCommit], rpt[0].Committed+rpt[0].Replicas+rpt[1].Committed+rpt[1].Replicas; got != want {
+		t.Errorf("commit events %d != commits %d", got, want)
+	}
+	if counts[metrics.EvIssue] == 0 {
+		t.Error("no issue events recorded")
 	}
 }

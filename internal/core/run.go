@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/ooo"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -67,11 +68,22 @@ func Run(cfg config.Machine, tr *trace.Trace) (stats.Run, error) {
 // behaves exactly like Run). Injected faults that starve the machine
 // surface as a *LivelockError from the watchdog, not a hang.
 func RunFaulty(cfg config.Machine, tr *trace.Trace, f Faults) (stats.Run, error) {
+	return RunInstrumented(cfg, tr, f, nil)
+}
+
+// RunInstrumented simulates like RunFaulty with a pipeline event sink
+// attached to the machine and both cores (nil behaves exactly like
+// RunFaulty); the events render into a Chrome trace via
+// metrics.WriteChromeTrace.
+func RunInstrumented(cfg config.Machine, tr *trace.Trace, f Faults, sink metrics.Sink) (stats.Run, error) {
 	m, err := NewMachine(cfg, tr)
 	if err != nil {
 		return stats.Run{}, err
 	}
 	m.SetFaults(f)
+	if sink != nil {
+		m.SetEventSink(sink)
+	}
 	cycles, err := m.Drain()
 	if err != nil {
 		return stats.Run{}, err
@@ -144,6 +156,8 @@ func (m *Machine) Summarize(cycles int64) stats.Run {
 	r.Set("replicas_committed", float64(rpt0.Replicas+rpt1.Replicas))
 	r.Set("core0_committed", float64(rpt0.Committed))
 	r.Set("core1_committed", float64(rpt1.Committed))
+	ooo.SetStallMetrics(&r, "core0_", &rpt0)
+	ooo.SetStallMetrics(&r, "core1_", &rpt1)
 
 	st := m.st
 	total := float64(st.Steered[0] + st.Steered[1])

@@ -70,10 +70,11 @@ type sequencer struct {
 	// buffer).
 	queueCap int
 
-	// onDeliver, when set, is called for each delivered instruction
-	// (not for replicas) with its home core — the machine uses it to
-	// track in-flight stores for cross-core disambiguation.
-	onDeliver func(d *isa.DynInst, gseq uint64, home int)
+	// onDeliver, when set, is called once per delivered instruction
+	// with its home core and whether a replica was steered to the
+	// sibling — the machine uses it to track in-flight stores for
+	// cross-core disambiguation and to emit steer/replicate events.
+	onDeliver func(d *isa.DynInst, gseq uint64, home int, replica bool, now int64)
 
 	// Stats.
 	Mispredicts       uint64
@@ -188,7 +189,7 @@ func (s *sequencer) fill(now int64, nextCommit uint64) {
 		s.streams[inf.home].q = append(s.streams[inf.home].q, item)
 		s.Delivered++
 		if s.onDeliver != nil {
-			s.onDeliver(d, s.pos, int(inf.home))
+			s.onDeliver(d, s.pos, int(inf.home), inf.replica, now)
 		}
 		if inf.replica {
 			rep := item

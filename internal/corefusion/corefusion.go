@@ -16,6 +16,7 @@ package corefusion
 import (
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/ooo"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -61,6 +62,12 @@ func FusedHierarchy(m config.Machine) mem.HierarchyConfig {
 // Run simulates tr to completion on the fused configuration of machine
 // m and returns the run summary.
 func Run(m config.Machine, tr *trace.Trace) (stats.Run, error) {
+	return RunInstrumented(m, tr, nil)
+}
+
+// RunInstrumented simulates like Run with a pipeline event sink
+// attached to the fused core (nil behaves exactly like Run).
+func RunInstrumented(m config.Machine, tr *trace.Trace, sink metrics.Sink) (stats.Run, error) {
 	cfg := FusedConfig(m)
 	hier, err := mem.NewHierarchy(FusedHierarchy(m))
 	if err != nil {
@@ -70,6 +77,7 @@ func Run(m config.Machine, tr *trace.Trace) (stats.Run, error) {
 	if err != nil {
 		return stats.Run{}, err
 	}
+	core.SetEventSink(sink, 0)
 	cycles, err := ooo.Drain(core, tr.Len())
 	if err != nil {
 		return stats.Run{}, err

@@ -201,6 +201,21 @@ func degrade(res *Result, failures []string, total int) {
 			len(failures), total))
 }
 
+// notedGeomean computes a geomean via stats.GeomeanN and surfaces any
+// excluded non-positive cells as an experiment note: a zero speedup is
+// the failed-run sentinel (stats.Speedup over zero cycles), never a
+// real measurement, so dropping one silently would misreport how many
+// workloads the aggregate actually covers.
+func notedGeomean(res *Result, label string, vals []float64) float64 {
+	gm, excluded := stats.GeomeanN(vals)
+	if excluded > 0 {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("%s: excluded %d non-positive cell(s) from the geomean.",
+				label, excluded))
+	}
+	return gm
+}
+
 // gridOutcomes fans the (workload × mode) simulation grid out over the
 // pool and returns, per workload in the given order, the cell outcomes
 // keyed by mode, plus the failure lines in submission order. Failed
@@ -430,13 +445,15 @@ func (r *runner) speedupFigure(id string, m config.Machine) (*Result, error) {
 		tb.AddRowf(w.Name, w.Suite, s.IPC(), f.IPC(), g.IPC(),
 			stats.Speedup(&s, &f), gs, gf)
 	}
-	tb.AddRowf("GEOMEAN", "", "", "", "", "", stats.Geomean(spS), stats.Geomean(spF))
+	gmS := notedGeomean(res, "fgstp/single", spS)
+	gmF := notedGeomean(res, "fgstp/fusion", spF)
+	tb.AddRowf("GEOMEAN", "", "", "", "", "", gmS, gmF)
 	res.Tables = append(res.Tables, tb)
 	degrade(res, failures, len(ws)*len(cmp.Modes()))
-	res.metric("geomean_fgstp_vs_single", stats.Geomean(spS))
-	res.metric("geomean_fgstp_vs_fusion", stats.Geomean(spF))
-	res.metric("geomean_int_fgstp_vs_single", stats.Geomean(spSInt))
-	res.metric("geomean_fp_fgstp_vs_single", stats.Geomean(spSFp))
+	res.metric("geomean_fgstp_vs_single", gmS)
+	res.metric("geomean_fgstp_vs_fusion", gmF)
+	res.metric("geomean_int_fgstp_vs_single", notedGeomean(res, "int fgstp/single", spSInt))
+	res.metric("geomean_fp_fgstp_vs_single", notedGeomean(res, "fp fgstp/single", spSFp))
 	return res, nil
 }
 
@@ -505,7 +522,7 @@ func (r *runner) e4() (*Result, error) {
 			}
 			vals = append(vals, sp[idx])
 		}
-		gm := stats.Geomean(vals)
+		gm := notedGeomean(res, v.name, vals)
 		if v.name == "full" {
 			full = gm
 		}
@@ -532,7 +549,7 @@ func (r *runner) e5() (*Result, error) {
 	for _, lat := range []int{1, 2, 4, 8} {
 		m := config.Medium()
 		m.FgSTP.CommLatency = lat
-		gm, fails := r.fgstpGeomean(m)
+		gm, fails := r.fgstpGeomean(res, fmt.Sprintf("lat%d", lat), m)
 		for _, f := range fails {
 			failures = append(failures, fmt.Sprintf("lat%d/%s", lat, f))
 		}
@@ -565,7 +582,7 @@ func (r *runner) e6() (*Result, error) {
 	for _, bw := range []int{1, 2, 4} {
 		m := config.Medium()
 		m.FgSTP.CommBandwidth = bw
-		gm, fails := r.fgstpGeomean(m)
+		gm, fails := r.fgstpGeomean(res, fmt.Sprintf("bw%d", bw), m)
 		for _, f := range fails {
 			failures = append(failures, fmt.Sprintf("bw%d/%s", bw, f))
 		}
@@ -581,7 +598,7 @@ func (r *runner) e6() (*Result, error) {
 		m := config.Medium()
 		m.FgSTP.CommLatency = 8
 		m.FgSTP.CommQueue = q
-		gm, fails := r.fgstpGeomean(m)
+		gm, fails := r.fgstpGeomean(res, fmt.Sprintf("q%d", q), m)
 		for _, f := range fails {
 			failures = append(failures, fmt.Sprintf("q%d/%s", q, f))
 		}
@@ -600,7 +617,7 @@ func (r *runner) e6() (*Result, error) {
 		m := config.Medium()
 		m.FgSTP.Steering = "roundrobin"
 		m.FgSTP.CommBandwidth = bw
-		gm, fails := r.fgstpGeomean(m)
+		gm, fails := r.fgstpGeomean(res, fmt.Sprintf("rr-bw%d", bw), m)
 		for _, f := range fails {
 			failures = append(failures, fmt.Sprintf("rr-bw%d/%s", bw, f))
 		}
@@ -627,7 +644,7 @@ func (r *runner) e7() (*Result, error) {
 	for _, win := range []int{64, 128, 256, 512, 1024} {
 		m := config.Medium()
 		m.FgSTP.Window = win
-		gm, fails := r.fgstpGeomean(m)
+		gm, fails := r.fgstpGeomean(res, fmt.Sprintf("win%d", win), m)
 		for _, f := range fails {
 			failures = append(failures, fmt.Sprintf("win%d/%s", win, f))
 		}
@@ -720,7 +737,7 @@ func (r *runner) e9() (*Result, error) {
 	for _, v := range variants {
 		m := config.Medium()
 		v.mutate(&m.FgSTP)
-		gm, fails := r.fgstpGeomean(m)
+		gm, fails := r.fgstpGeomean(res, v.name, m)
 		for _, f := range fails {
 			failures = append(failures, fmt.Sprintf("%s/%s", v.name, f))
 		}
@@ -760,9 +777,11 @@ func (r *runner) e10() (*Result, error) {
 				spS = append(spS, stats.Speedup(&s, &g))
 				spF = append(spF, stats.Speedup(&f, &g))
 			}
-			tb.AddRowf(m.Name, suite, stats.Geomean(spS), stats.Geomean(spF))
-			res.metric(fmt.Sprintf("%s_%s_fgstp_vs_single", m.Name, suite), stats.Geomean(spS))
-			res.metric(fmt.Sprintf("%s_%s_fgstp_vs_fusion", m.Name, suite), stats.Geomean(spF))
+			gmS := notedGeomean(res, fmt.Sprintf("%s/%s fgstp/single", m.Name, suite), spS)
+			gmF := notedGeomean(res, fmt.Sprintf("%s/%s fgstp/fusion", m.Name, suite), spF)
+			tb.AddRowf(m.Name, suite, gmS, gmF)
+			res.metric(fmt.Sprintf("%s_%s_fgstp_vs_single", m.Name, suite), gmS)
+			res.metric(fmt.Sprintf("%s_%s_fgstp_vs_fusion", m.Name, suite), gmF)
 		}
 	}
 	res.Tables = append(res.Tables, tb)
@@ -773,8 +792,10 @@ func (r *runner) e10() (*Result, error) {
 // fgstpGeomean runs every workload in single and fgstp mode on machine
 // m (one job per workload, fanned out over the pool) and returns the
 // geomean speedup over the workloads that succeeded, plus a
-// "workload: error" line per failure in workload order.
-func (r *runner) fgstpGeomean(m config.Machine) (float64, []string) {
+// "workload: error" line per failure in workload order. Non-positive
+// speedup cells excluded from the geomean are noted on res under
+// label.
+func (r *runner) fgstpGeomean(res *Result, label string, m config.Machine) (float64, []string) {
 	ws := workloads.All()
 	sp, errs := r.speedupOutcomes(m, ws)
 	var ok []float64
@@ -786,5 +807,5 @@ func (r *runner) fgstpGeomean(m config.Machine) (float64, []string) {
 		}
 		ok = append(ok, sp[i])
 	}
-	return stats.Geomean(ok), failures
+	return notedGeomean(res, label, ok), failures
 }

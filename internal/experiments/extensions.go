@@ -76,10 +76,12 @@ func (r *runner) e11() (*Result, error) {
 			en = append(en, c.EnergyRatio)
 			edp = append(edp, c.EDPGain)
 		}
-		tb.AddRowf(string(mode), stats.Geomean(sp), stats.Geomean(en),
-			stats.Geomean(edp))
-		res.metric(string(mode)+"_energy_ratio", stats.Geomean(en))
-		res.metric(string(mode)+"_edp_gain", stats.Geomean(edp))
+		gmEn := notedGeomean(res, string(mode)+" energy", en)
+		gmEDP := notedGeomean(res, string(mode)+" EDP", edp)
+		tb.AddRowf(string(mode), notedGeomean(res, string(mode)+" speedup", sp),
+			gmEn, gmEDP)
+		res.metric(string(mode)+"_energy_ratio", gmEn)
+		res.metric(string(mode)+"_edp_gain", gmEDP)
 	}
 	res.Tables = append(res.Tables, tb)
 	return res, nil
@@ -134,12 +136,15 @@ func (r *runner) e12() (*Result, error) {
 		g.h = append(g.h, rh.IPC())
 		g.o = append(g.o, ro.IPC())
 	}
-	tb.AddRowf("GEOMEAN", stats.Geomean(g.s), stats.Geomean(g.f),
-		stats.Geomean(g.h), stats.Geomean(g.o))
-	res.metric("geomean_ipc_single", stats.Geomean(g.s))
-	res.metric("geomean_ipc_fgstp", stats.Geomean(g.f))
-	res.metric("geomean_ipc_history", stats.Geomean(g.h))
-	res.metric("geomean_ipc_oracle", stats.Geomean(g.o))
+	gmS := notedGeomean(res, "single IPC", g.s)
+	gmF := notedGeomean(res, "fgstp IPC", g.f)
+	gmH := notedGeomean(res, "history IPC", g.h)
+	gmO := notedGeomean(res, "oracle IPC", g.o)
+	tb.AddRowf("GEOMEAN", gmS, gmF, gmH, gmO)
+	res.metric("geomean_ipc_single", gmS)
+	res.metric("geomean_ipc_fgstp", gmF)
+	res.metric("geomean_ipc_history", gmH)
+	res.metric("geomean_ipc_oracle", gmO)
 	res.Tables = append(res.Tables, tb)
 	return res, nil
 }

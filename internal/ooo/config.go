@@ -162,5 +162,26 @@ type Report struct {
 	// Stall accounting: cycles the front end spent blocked, by cause.
 	FetchStallBranch int64
 	FetchStallICache int64
-	FetchStallROB    int64 // dispatch blocked on full ROB/IQ/LSQ
+	FetchStallROB    int64 // dispatch blocked on a full ROB / exhausted slots
+	FetchStallIQ     int64 // dispatch blocked on a full issue window
+	FetchStallLSQ    int64 // dispatch blocked on a full load/store queue
+
+	// Cycle attribution (CPI-stack style): every simulated cycle lands
+	// in exactly one bucket, attributed by the state of the commit head
+	// after the commit stage ran, so the six buckets always sum to
+	// Cycles. This is the per-stage stall breakdown the observability
+	// exports surface per run.
+	CyclesActive        int64 // at least one instruction committed
+	CyclesFetchStarved  int64 // ROB empty: the front end starved the window
+	CyclesIssueWait     int64 // head not issued: operand or structural wait
+	CyclesChannelWait   int64 // head not issued, blocked on an inter-core value
+	CyclesExecute       int64 // head issued and still executing
+	CyclesCommitBlocked int64 // head complete but commit gated (Fg-STP frontier)
+}
+
+// AttributedCycles sums the cycle-attribution buckets; it equals Cycles
+// on any completed run (asserted by the machine tests).
+func (r *Report) AttributedCycles() int64 {
+	return r.CyclesActive + r.CyclesFetchStarved + r.CyclesIssueWait +
+		r.CyclesChannelWait + r.CyclesExecute + r.CyclesCommitBlocked
 }

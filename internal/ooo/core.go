@@ -7,6 +7,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 )
 
 // notReady is the completeAt sentinel of an un-issued uop.
@@ -37,6 +38,11 @@ type UOp struct {
 	fwdFrom     *UOp // store this load forwarded from, if any
 
 	mispredicted bool // branch mispredicted by the internal front end
+
+	// extWaitAt is the last cycle an external (cross-core) operand of
+	// this uop was polled and found not ready — the signal the cycle
+	// attribution uses to classify a head stall as channel-wait.
+	extWaitAt int64
 }
 
 // DI returns the architectural instruction record.
@@ -119,6 +125,10 @@ type Core struct {
 	hasViolation     bool
 
 	rpt Report
+
+	// sink, when non-nil, receives issue/commit/squash pipeline events
+	// (see internal/metrics); nil costs one comparison per event site.
+	sink metrics.Sink
 }
 
 // NewCore builds a core over its memory hierarchy and fetch stream.
@@ -194,18 +204,62 @@ func (c *Core) OldestUncommitted() (uint64, bool) {
 	return c.rob[0].GSeq(), true
 }
 
+// SetEventSink installs a pipeline event sink (see internal/metrics);
+// call it before the first Cycle. Events are tagged with coreID. A nil
+// sink (the default) disables emission.
+func (c *Core) SetEventSink(sink metrics.Sink, coreID int) {
+	if sink == nil {
+		c.sink = nil
+		return
+	}
+	c.sink = metrics.CoreSink{Sink: sink, Core: coreID}
+}
+
 // Cycle advances the core by one clock. Stages run commit → issue →
 // dispatch → fetch so that results become visible with correct
 // single-cycle bypass timing.
 func (c *Core) Cycle(now int64) {
 	c.rpt.Cycles = now + 1
+	retiredBefore := c.rpt.Committed + c.rpt.Replicas
 	c.commit(now)
+	c.attributeCycle(now, retiredBefore)
 	c.issue(now)
 	if c.hasViolation {
 		c.handleViolation(now)
 	}
 	c.dispatch(now)
 	c.fetch(now)
+}
+
+// attributeCycle lands this cycle in exactly one CPI-stack bucket,
+// keyed off the commit head after the commit stage ran: committing
+// cycles are active; an empty window blames the front end; an unissued
+// head blames its operands (channel-wait when the last failed poll was
+// an external source); an executing head blames latency; a complete but
+// uncommitted head blames the commit gate.
+func (c *Core) attributeCycle(now int64, retiredBefore uint64) {
+	switch {
+	case c.rpt.Committed+c.rpt.Replicas > retiredBefore:
+		c.rpt.CyclesActive++
+	case len(c.rob) == 0:
+		c.rpt.CyclesFetchStarved++
+	default:
+		u := c.rob[0]
+		switch {
+		case !u.issued:
+			// The issue stage last polled operands at now-1 (commit runs
+			// first within a cycle).
+			if u.extWaitAt >= now-1 {
+				c.rpt.CyclesChannelWait++
+			} else {
+				c.rpt.CyclesIssueWait++
+			}
+		case u.completeAt > now:
+			c.rpt.CyclesExecute++
+		default:
+			c.rpt.CyclesCommitBlocked++
+		}
+	}
 }
 
 // ---------------------------------------------------------------- fetch
@@ -262,6 +316,7 @@ func (c *Core) fetch(now int64) {
 			fetchedAt:     now,
 			dispatchReady: now + int64(c.cfg.FrontendDepth),
 			completeAt:    notReady,
+			extWaitAt:     -2, // no external poll yet
 		}
 		c.fetchq = append(c.fetchq, u)
 		c.rpt.Fetched++
@@ -325,16 +380,16 @@ func (c *Core) dispatch(now int64) {
 		}
 		d := u.DI()
 		if d.IsLoad() && len(c.lq) >= c.cfg.LQSize {
-			c.rpt.FetchStallROB++
+			c.rpt.FetchStallLSQ++
 			return
 		}
 		if d.IsStore() && len(c.sq) >= c.cfg.SQSize {
-			c.rpt.FetchStallROB++
+			c.rpt.FetchStallLSQ++
 			return
 		}
 		cluster := c.pickCluster(u)
 		if c.iqCount[cluster] >= c.cfg.IQSize {
-			c.rpt.FetchStallROB++
+			c.rpt.FetchStallIQ++
 			return
 		}
 		u.Cluster = cluster
@@ -554,6 +609,12 @@ func (c *Core) startExec(u *UOp, now int64, lat int) {
 	u.completeAt = now + int64(lat)
 	c.iqCount[u.Cluster]--
 	c.rpt.Issued++
+	if c.sink != nil {
+		c.sink.Emit(metrics.Event{
+			Cycle: now, Dur: int64(lat), Kind: metrics.EvIssue,
+			GSeq: u.GSeq(), Detail: u.DI().Class.String(),
+		})
+	}
 	if c.hooks != nil {
 		c.hooks.OnIssue(u, now)
 		c.hooks.OnComplete(u, u.completeAt)
@@ -576,6 +637,7 @@ func (c *Core) operandsReady(u *UOp, now int64) bool {
 	for i := 0; i < u.nsrc; i++ {
 		if u.ext[i] {
 			if c.hooks.ExtReadyAt(u, i, now) > now {
+				u.extWaitAt = now
 				return false
 			}
 			continue
@@ -723,6 +785,11 @@ func (c *Core) commit(now int64) {
 		} else {
 			c.rpt.Committed++
 		}
+		if c.sink != nil {
+			c.sink.Emit(metrics.Event{
+				Cycle: now, Kind: metrics.EvCommit, GSeq: u.GSeq(),
+			})
+		}
 		if c.hooks != nil {
 			c.hooks.OnCommit(u, now)
 		}
@@ -736,6 +803,9 @@ func (c *Core) commit(now int64) {
 // instructions pay the frontend depth again through dispatchReady.
 func (c *Core) SquashFrom(gseq uint64, now int64) {
 	c.rpt.Squashes++
+	if c.sink != nil {
+		c.sink.Emit(metrics.Event{Cycle: now, Kind: metrics.EvSquash, GSeq: gseq})
+	}
 
 	// Fetch queue: entries are in GSeq order.
 	for i, u := range c.fetchq {

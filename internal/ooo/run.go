@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -59,6 +60,13 @@ func (e *LivelockError) Unwrap() error { return ErrLivelock }
 // configuration of every experiment; the fused and Fg-STP modes live in
 // internal/corefusion and internal/core.
 func RunTrace(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace) (stats.Run, error) {
+	return RunTraceInstrumented(cfg, hcfg, tr, nil)
+}
+
+// RunTraceInstrumented simulates like RunTrace with a pipeline event
+// sink attached to the core (nil behaves exactly like RunTrace); the
+// events render into a Chrome trace via metrics.WriteChromeTrace.
+func RunTraceInstrumented(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace, sink metrics.Sink) (stats.Run, error) {
 	hier, err := mem.NewHierarchy(hcfg)
 	if err != nil {
 		return stats.Run{}, err
@@ -67,6 +75,7 @@ func RunTrace(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace) (stats.Run,
 	if err != nil {
 		return stats.Run{}, err
 	}
+	core.SetEventSink(sink, 0)
 	now, err := Drain(core, tr.Len())
 	if err != nil {
 		return stats.Run{}, err
@@ -121,6 +130,7 @@ func Summarize(core *Core, tr *trace.Trace, mode string, cycles int64) stats.Run
 	r.Set("fetched_uops", float64(rpt.Fetched))
 	r.Set("issued_uops", float64(rpt.Issued))
 	r.Set("squashed_uops", float64(rpt.Squashed))
+	SetStallMetrics(&r, "", &rpt)
 	h := core.Hier()
 	r.Set("l1i_accesses", float64(h.L1I.Stats.Accesses))
 	r.Set("l1d_accesses", float64(h.L1D.Stats.Accesses))
@@ -131,4 +141,20 @@ func Summarize(core *Core, tr *trace.Trace, mode string, cycles int64) stats.Run
 		r.Set("bpred_accuracy", p.Accuracy())
 	}
 	return r
+}
+
+// SetStallMetrics records a core report's per-stage stall breakdown on
+// r under prefix ("" for a single core, "core0_"/"core1_" for the
+// Fg-STP pair): the six CPI-stack cycle buckets, which sum to the
+// core's total cycles, plus the front-end dispatch-stall causes.
+func SetStallMetrics(r *stats.Run, prefix string, rpt *Report) {
+	r.Set(prefix+"cycles_active", float64(rpt.CyclesActive))
+	r.Set(prefix+"cycles_fetch_starved", float64(rpt.CyclesFetchStarved))
+	r.Set(prefix+"cycles_issue_wait", float64(rpt.CyclesIssueWait))
+	r.Set(prefix+"cycles_channel_wait", float64(rpt.CyclesChannelWait))
+	r.Set(prefix+"cycles_execute", float64(rpt.CyclesExecute))
+	r.Set(prefix+"cycles_commit_blocked", float64(rpt.CyclesCommitBlocked))
+	r.Set(prefix+"dispatch_stall_rob", float64(rpt.FetchStallROB))
+	r.Set(prefix+"dispatch_stall_iq", float64(rpt.FetchStallIQ))
+	r.Set(prefix+"dispatch_stall_lsq", float64(rpt.FetchStallLSQ))
 }

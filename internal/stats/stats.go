@@ -8,12 +8,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unicode/utf8"
+
+	"repro/internal/metrics"
 )
 
 // Run is the summary of one simulation: a workload executed on a
-// machine mode. Cycles and Insts define performance; Extra carries
+// machine mode. Cycles and Insts define performance; Metrics carries
 // model-specific counters (misses, squashes, communication traffic…)
-// keyed by short snake_case names.
+// keyed by short snake_case names in a deterministic registry.
 type Run struct {
 	Workload string
 	Mode     string
@@ -22,7 +25,10 @@ type Run struct {
 	// created by Fg-STP do not count: IPC stays comparable across
 	// modes.
 	Insts uint64
-	Extra map[string]float64
+	// Metrics is the structured counter registry of the run — the
+	// single sink every timing model summarises into. Nil on a zero
+	// Run; Set allocates it.
+	Metrics *metrics.Registry `json:"metrics,omitempty"`
 }
 
 // IPC returns committed instructions per cycle.
@@ -33,16 +39,19 @@ func (r *Run) IPC() float64 {
 	return float64(r.Insts) / float64(r.Cycles)
 }
 
-// Set records an extra counter, allocating the map on first use.
+// Set records a model counter, allocating the registry on first use.
 func (r *Run) Set(key string, v float64) {
-	if r.Extra == nil {
-		r.Extra = make(map[string]float64)
+	if r.Metrics == nil {
+		r.Metrics = metrics.NewRegistry()
 	}
-	r.Extra[key] = v
+	r.Metrics.Set(key, v)
 }
 
-// Get returns an extra counter (zero when absent).
-func (r *Run) Get(key string) float64 { return r.Extra[key] }
+// Get returns a model counter (zero when absent).
+func (r *Run) Get(key string) float64 { return r.Metrics.Get(key) }
+
+// Has reports whether the run recorded the named counter.
+func (r *Run) Has(key string) bool { return r.Metrics.Has(key) }
 
 // Speedup returns how much faster other is than base on the same
 // workload: base.Cycles / other.Cycles.
@@ -55,8 +64,20 @@ func Speedup(base, other *Run) float64 {
 
 // Geomean returns the geometric mean of vals, ignoring non-positive
 // entries (which would otherwise poison the log). It returns 0 for an
-// empty or all-invalid input.
+// empty or all-invalid input. Callers that aggregate measurement cells
+// should prefer GeomeanN and surface the exclusion count — a zero here
+// is the failure sentinel of Speedup and Run.IPC, and dropping it
+// without a trace can make a failed cell look merely "ignored".
 func Geomean(vals []float64) float64 {
+	gm, _ := GeomeanN(vals)
+	return gm
+}
+
+// GeomeanN returns the geometric mean of the positive entries of vals
+// together with how many entries were excluded as non-positive, so
+// aggregations can report shrunken inputs instead of silently dropping
+// them. It returns (0, len(vals)) for an empty or all-invalid input.
+func GeomeanN(vals []float64) (gm float64, excluded int) {
 	sum, n := 0.0, 0
 	for _, v := range vals {
 		if v > 0 {
@@ -64,10 +85,11 @@ func Geomean(vals []float64) float64 {
 			n++
 		}
 	}
+	excluded = len(vals) - n
 	if n == 0 {
-		return 0
+		return 0, excluded
 	}
-	return math.Exp(sum / float64(n))
+	return math.Exp(sum / float64(n)), excluded
 }
 
 // Hist is a power-of-two bucketed histogram for latency/distance style
@@ -174,22 +196,56 @@ func (t *Table) AddRowf(cells ...interface{}) {
 }
 
 // SortRows sorts rows by the first column (stable lexicographic).
+// Rows with no cells (AddRow with no arguments) sort as empty strings
+// rather than panicking.
 func (t *Table) SortRows() {
 	sort.SliceStable(t.rows, func(i, j int) bool {
-		return t.rows[i][0] < t.rows[j][0]
+		return firstCell(t.rows[i]) < firstCell(t.rows[j])
 	})
 }
+
+// firstCell returns a row's sort key: its first cell, or "" for a row
+// with no cells.
+func firstCell(row []string) string {
+	if len(row) == 0 {
+		return ""
+	}
+	return row[0]
+}
+
+// Headers returns the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// Rows returns the accumulated rows, each padded to the header count
+// (missing cells render empty) — the machine-readable view the JSON
+// and CSV exporters serialise.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for r, row := range t.rows {
+		cells := make([]string, len(t.headers))
+		copy(cells, row)
+		out[r] = cells
+	}
+	return out
+}
+
+// NumRows returns the number of accumulated rows.
+func (t *Table) NumRows() int { return len(t.rows) }
 
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		widths[i] = len(h)
+		widths[i] = cellWidth(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := cellWidth(c); w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -232,8 +288,12 @@ func (t *Table) String() string {
 	return out
 }
 
+// cellWidth measures a cell in runes, not bytes, so non-ASCII cells
+// (µops, benchmark names with accents) keep the columns aligned.
+func cellWidth(s string) int { return utf8.RuneCountInString(s) }
+
 func pad(s string, w int) string {
-	for len(s) < w {
+	for n := cellWidth(s); n < w; n++ {
 		s += " "
 	}
 	return s

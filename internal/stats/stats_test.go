@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func TestRunIPC(t *testing.T) {
@@ -136,6 +137,87 @@ func TestTableRendering(t *testing.T) {
 	// All data lines must be equally wide (alignment).
 	if len(lines[1]) != len(lines[2]) {
 		t.Errorf("header and rule widths differ: %d vs %d", len(lines[1]), len(lines[2]))
+	}
+}
+
+// Regression: SortRows and String must survive a row with zero cells
+// (AddRow with no arguments used to panic on rows[i][0]).
+func TestTableEmptyRow(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.AddRow("zeta", "1")
+	tb.AddRow() // no cells at all
+	tb.AddRow("alpha", "2")
+	tb.SortRows() // must not panic
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, rule, 3 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// The empty row sorts first (key "") and renders as blank cells.
+	if strings.TrimSpace(lines[2]) != "" {
+		t.Errorf("empty row should sort first and render blank, got %q", lines[2])
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Error("rows not sorted around the empty row")
+	}
+}
+
+// Regression: pad must count runes, not bytes, so UTF-8 cells keep the
+// columns aligned. Golden rendering with a multi-byte cell.
+func TestTableUTF8Alignment(t *testing.T) {
+	tb := NewTable("", "bench", "µops/cycle")
+	tb.AddRow("mcf", "1.5")
+	tb.AddRow("naïve-π", "0.7")
+	got := tb.String()
+	want := "" +
+		"bench    µops/cycle\n" +
+		"-------  ----------\n" +
+		"mcf      1.5       \n" +
+		"naïve-π  0.7       \n"
+	if got != want {
+		t.Errorf("UTF-8 table misaligned:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	w := utf8.RuneCountInString(lines[0])
+	for i, l := range lines {
+		if utf8.RuneCountInString(l) != w {
+			t.Errorf("line %d rune width %d, want %d: %q", i, utf8.RuneCountInString(l), w, l)
+		}
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x") // short row: padded with an empty cell
+	tb.AddRow("y", "z")
+	if got := tb.Headers(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("Headers = %v", got)
+	}
+	rows := tb.Rows()
+	if tb.NumRows() != 2 || len(rows) != 2 {
+		t.Fatalf("NumRows/Rows = %d/%d", tb.NumRows(), len(rows))
+	}
+	if len(rows[0]) != 2 || rows[0][1] != "" {
+		t.Errorf("short row not padded: %v", rows[0])
+	}
+	rows[1][0] = "mutated"
+	if tb.Rows()[1][0] != "y" {
+		t.Error("Rows must return a copy")
+	}
+}
+
+func TestGeomeanN(t *testing.T) {
+	gm, excluded := GeomeanN([]float64{2, 8, 0, -1})
+	if math.Abs(gm-4) > 1e-12 || excluded != 2 {
+		t.Errorf("GeomeanN = (%v, %d), want (4, 2)", gm, excluded)
+	}
+	gm, excluded = GeomeanN(nil)
+	if gm != 0 || excluded != 0 {
+		t.Errorf("GeomeanN(nil) = (%v, %d), want (0, 0)", gm, excluded)
+	}
+	gm, excluded = GeomeanN([]float64{0, 0})
+	if gm != 0 || excluded != 2 {
+		t.Errorf("GeomeanN(zeros) = (%v, %d), want (0, 2)", gm, excluded)
 	}
 }
 

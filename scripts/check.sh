@@ -13,6 +13,9 @@
 #   degraded smoke  fgstpbench with an injected livelock must finish
 #                   the experiment, exit 1, and print byte-identical
 #                   reports for -jobs 1 and -jobs 4
+#   json smoke      fgstpbench -format json must emit a valid export
+#                   (scripts/jsoncheck) byte-identical across -jobs,
+#                   and fgstpsim -tracejson a valid Chrome trace
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -47,5 +50,19 @@ cmp "$tmp/degraded1.txt" "$tmp/degraded4.txt" || {
     echo "degraded output differs between -jobs 1 and -jobs 4"; exit 1; }
 grep -q 'FAIL(livelock)' "$tmp/degraded1.txt" || {
     echo "degraded output missing FAIL(livelock) cell"; exit 1; }
+
+echo "== json-export smoke (valid export, jobs-determinism, pipeline trace)"
+"$tmp/fgstpbench" -experiment E2 -insts 3000 -format json -jobs 1 \
+    >"$tmp/export1.json" 2>/dev/null
+"$tmp/fgstpbench" -experiment E2 -insts 3000 -format json -jobs 4 \
+    >"$tmp/export4.json" 2>/dev/null
+cmp "$tmp/export1.json" "$tmp/export4.json" || {
+    echo "JSON export differs between -jobs 1 and -jobs 4"; exit 1; }
+go run ./scripts/jsoncheck <"$tmp/export1.json"
+go build -o "$tmp/fgstpsim" ./cmd/fgstpsim
+"$tmp/fgstpsim" -workload mcf -insts 3000 -mode fgstp -format json \
+    -tracejson "$tmp/pipe.json" >/dev/null 2>&1
+grep -q '"traceEvents"' "$tmp/pipe.json" || {
+    echo "pipeline trace missing traceEvents"; exit 1; }
 
 echo "check: ok"

@@ -1,0 +1,63 @@
+// Command jsoncheck validates a machine-readable fgstpbench export
+// from stdin: the document must parse as JSON, carry the expected
+// schema tag, and contain at least one experiment whose table rows all
+// match their headers. It exists so scripts/check.sh can smoke-test
+// the -format json path without depending on external tools.
+//
+//	fgstpbench -experiment E2 -format json | go run ./scripts/jsoncheck
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	var doc struct {
+		Schema      string `json:"schema"`
+		Experiments []struct {
+			ID     string `json:"id"`
+			Tables []struct {
+				Title   string     `json:"title"`
+				Headers []string   `json:"headers"`
+				Rows    [][]string `json:"rows"`
+			} `json:"tables"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(fmt.Errorf("not valid JSON: %w", err))
+	}
+	if doc.Schema != experiments.SchemaVersion {
+		fatal(fmt.Errorf("schema %q, want %q", doc.Schema, experiments.SchemaVersion))
+	}
+	if len(doc.Experiments) == 0 {
+		fatal(fmt.Errorf("no experiments in export"))
+	}
+	for _, e := range doc.Experiments {
+		if e.ID == "" {
+			fatal(fmt.Errorf("experiment with empty id"))
+		}
+		for _, t := range e.Tables {
+			for i, row := range t.Rows {
+				if len(row) != len(t.Headers) {
+					fatal(fmt.Errorf("%s table %q row %d: %d cells for %d headers",
+						e.ID, t.Title, i, len(row), len(t.Headers)))
+				}
+			}
+		}
+	}
+	fmt.Printf("jsoncheck: ok (%d experiment(s))\n", len(doc.Experiments))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsoncheck:", err)
+	os.Exit(1)
+}
