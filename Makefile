@@ -15,4 +15,11 @@ race:
 bench:
 	go test -run='^$$' -bench=. -benchmem .
 
-.PHONY: check build test race bench
+# Record the full benchmark suite (experiments + package micros,
+# BENCH_COUNT runs each) to bench_latest.txt. Compare two recordings
+# with `./scripts/bench.sh diff old.txt new.txt`, or regenerate the
+# committed comparison with `./scripts/bench.sh json`.
+bench-record:
+	./scripts/bench.sh record bench_latest.txt
+
+.PHONY: check build test race bench bench-record

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/config"
+	"repro/internal/gseqtab"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -14,27 +15,52 @@ import (
 // farFuture is the "operand not available" sentinel for ExtReadyAt.
 const farFuture = int64(math.MaxInt64 / 4)
 
+// issuedBit flags a storeTracker entry as issued, in the entry itself:
+// gseqs are trace indexes and never approach 2^63, so the top bit is
+// free, and folding the flag into the sorted slice removes the side
+// map the old tracker consulted (and mutated) on every query.
+const issuedBit = uint64(1) << 63
+
 // storeTracker tracks delivered-but-unissued stores of one core, the
 // set a remote load must consider for memory-dependence speculation.
-// Gseqs arrive in ascending (delivery) order.
+// Gseqs arrive in ascending (delivery) order, so pend is sorted by
+// masked gseq; entries at the front are dropped once issued, entries
+// at the back on squash.
 type storeTracker struct {
-	pend   []uint64
-	head   int
-	issued map[uint64]bool
+	pend []uint64 // gseq | issuedBit
+	head int
 }
 
 func newStoreTracker() *storeTracker {
-	return &storeTracker{issued: make(map[uint64]bool)}
+	// Capacity bound: the compaction slack (head up to 4096) plus a
+	// lookahead window's worth of live stores. Preallocating it keeps
+	// the tracker allocation-free for the whole run.
+	return &storeTracker{pend: make([]uint64, 0, 8192)}
 }
 
 func (t *storeTracker) add(g uint64) { t.pend = append(t.pend, g) }
 
-func (t *storeTracker) markIssued(g uint64) { t.issued[g] = true }
+// markIssued flags store g. Binary search over the live region (the
+// entries are sorted); a miss — a store the tracker never saw — is a
+// no-op, exactly like setting a flag in the old side map was.
+func (t *storeTracker) markIssued(g uint64) {
+	lo, hi := t.head, len(t.pend)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.pend[mid]&^issuedBit < g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.pend) && t.pend[lo]&^issuedBit == g {
+		t.pend[lo] |= issuedBit
+	}
+}
 
 // advance moves head past the issued prefix and compacts occasionally.
 func (t *storeTracker) advance() {
-	for t.head < len(t.pend) && t.issued[t.pend[t.head]] {
-		delete(t.issued, t.pend[t.head])
+	for t.head < len(t.pend) && t.pend[t.head]&issuedBit != 0 {
 		t.head++
 	}
 	if t.head > 4096 {
@@ -47,29 +73,17 @@ func (t *storeTracker) advance() {
 // exists.
 func (t *storeTracker) anyUnissuedBelow(gseq uint64) bool {
 	t.advance()
-	return t.head < len(t.pend) && t.pend[t.head] < gseq
-}
-
-// unissuedBelow calls fn for every unissued store older than gseq.
-func (t *storeTracker) unissuedBelow(gseq uint64, fn func(uint64)) {
-	t.advance()
-	for i := t.head; i < len(t.pend) && t.pend[i] < gseq; i++ {
-		if !t.issued[t.pend[i]] {
-			fn(t.pend[i])
-		}
-	}
+	return t.head < len(t.pend) && t.pend[t.head]&^issuedBit < gseq
 }
 
 // rewind drops all tracked stores with gseq >= g (they will be
 // redelivered after the squash).
 func (t *storeTracker) rewind(g uint64) {
-	for i := len(t.pend) - 1; i >= t.head; i-- {
-		if t.pend[i] < g {
-			break
-		}
-		delete(t.issued, t.pend[i])
-		t.pend = t.pend[:i]
+	i := len(t.pend)
+	for i > t.head && t.pend[i-1]&^issuedBit >= g {
+		i--
 	}
+	t.pend = t.pend[:i]
 }
 
 // Machine is a reconfigured 2-core Fg-STP system executing one thread.
@@ -91,8 +105,11 @@ type Machine struct {
 	// risking a squash of committed state.
 	commitFrontier uint64
 	// commitsDone counts commits per gseq (replicated instructions
-	// need two) until nextCommit passes them.
-	commitsDone map[uint64]uint8
+	// need two) until nextCommit passes them. Entries below nextCommit
+	// can linger (a squash victim that committed the same cycle its
+	// squash was requested recommits after the rewind); they are never
+	// read again and the prune pass sweeps them.
+	commitsDone *gseqtab.Table[uint8]
 
 	depPred *ooo.DepPred
 	// storeSets, when non-nil, replaces the load-wait policy: a load
@@ -106,14 +123,14 @@ type Machine struct {
 	unissuedStore map[uint64]bool
 
 	// completeAt records issued (non-replica) producers' completion
-	// cycles; deliver memoises per-destination channel grants.
-	completeAt map[uint64]int64
-	deliver    [2]map[uint64]int64
+	// cycles; deliver memoises per-destination channel grants (keyed by
+	// producer gseq — including, via the committed-state path, gseqs
+	// pruned long ago, which is what the tables' spill maps absorb).
+	completeAt *gseqtab.Table[int64]
+	deliver    [2]*gseqtab.Table[int64]
 	pruneMark  uint64
 
 	pendingStores [2]*storeTracker
-	issuedLoads   [2]map[uint64]*ooo.UOp
-	issuedStores  [2]map[uint64]*ooo.UOp
 
 	hasSquash     bool
 	pendingSquash uint64
@@ -158,19 +175,19 @@ func NewMachine(cfg config.Machine, tr *trace.Trace) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:         cfg,
-		tr:          tr,
-		completeAt:  make(map[uint64]int64),
-		commitsDone: make(map[uint64]uint8),
+		cfg: cfg,
+		tr:  tr,
 	}
-	m.deliver[0] = make(map[uint64]int64)
-	m.deliver[1] = make(map[uint64]int64)
+	// Side-table sizing: live keys span at most the lookahead window
+	// plus the prune horizon (Window + 4*ROB below nextCommit), and
+	// stale keys can linger for one prune period (8192 commits) on top.
+	span := 2*cfg.FgSTP.Window + 4*cfg.Core.ROBSize + prunePeriod
+	m.completeAt = gseqtab.New[int64](span)
+	m.commitsDone = gseqtab.New[uint8](span)
+	m.deliver[0] = gseqtab.New[int64](span)
+	m.deliver[1] = gseqtab.New[int64](span)
 	m.pendingStores[0] = newStoreTracker()
 	m.pendingStores[1] = newStoreTracker()
-	m.issuedLoads[0] = make(map[uint64]*ooo.UOp)
-	m.issuedLoads[1] = make(map[uint64]*ooo.UOp)
-	m.issuedStores[0] = make(map[uint64]*ooo.UOp)
-	m.issuedStores[1] = make(map[uint64]*ooo.UOp)
 
 	f := cfg.FgSTP
 	depBits := f.DepPredBits
@@ -227,6 +244,7 @@ func NewMachine(cfg config.Machine, tr *trace.Trace) (*Machine, error) {
 	ccfg := cfg.Core
 	ccfg.ExternalFrontend = true
 	ccfg.DepPredBits = depBits
+	ccfg.GSeqWindow = f.Window
 	for i := 0; i < 2; i++ {
 		m.cores[i], err = ooo.NewCore(ccfg, m.hiers[i], m.seq.streams[i], &coreHooks{m: m, id: i})
 		if err != nil {
@@ -273,10 +291,14 @@ func (m *Machine) Cycle(now int64) {
 	if m.hasSquash {
 		m.applySquash(now)
 	}
-	if m.nextCommit >= m.pruneMark+8192 {
+	if m.nextCommit >= m.pruneMark+prunePeriod {
 		m.prune()
 	}
 }
+
+// prunePeriod is how many committed instructions elapse between prune
+// passes over the communication side tables.
+const prunePeriod = 8192
 
 // requestSquash schedules a global squash from gseq at the end of the
 // current cycle; concurrent requests keep the oldest.
@@ -299,32 +321,17 @@ func (m *Machine) applySquash(now int64) {
 		})
 	}
 
+	// Every per-gseq record keys a gseq below the delivery frontier;
+	// capture it before the rewind moves it back to g.
+	hi := m.seq.pos
 	m.cores[0].SquashFrom(g, now)
 	m.cores[1].SquashFrom(g, now)
 	m.seq.rewind(g, now)
 	for i := 0; i < 2; i++ {
 		m.pendingStores[i].rewind(g)
-		for k := range m.issuedLoads[i] {
-			if k >= g {
-				delete(m.issuedLoads[i], k)
-			}
-		}
-		for k := range m.issuedStores[i] {
-			if k >= g {
-				delete(m.issuedStores[i], k)
-			}
-		}
-		for k := range m.deliver[i] {
-			if k >= g {
-				delete(m.deliver[i], k)
-			}
-		}
+		m.deliver[i].DeleteRange(g, hi)
 	}
-	for k := range m.completeAt {
-		if k >= g {
-			delete(m.completeAt, k)
-		}
-	}
+	m.completeAt.DeleteRange(g, hi)
 	if m.storeSets != nil {
 		for set, gs := range m.ssLast {
 			if gs >= g {
@@ -344,22 +351,17 @@ func (m *Machine) applySquash(now int64) {
 // are steered within the lookahead window of p's commit).
 func (m *Machine) prune() {
 	m.pruneMark = m.nextCommit
+	// Commit counts below nextCommit are dead (the advance loop only
+	// reads at or above it); sweeping them keeps their table slots free
+	// for the window-aliased gseqs that will need them.
+	m.commitsDone.DeleteBelow(m.nextCommit)
 	if m.nextCommit < uint64(m.cfg.FgSTP.Window)+uint64(4*m.cfg.Core.ROBSize) {
 		return
 	}
 	cut := m.nextCommit - uint64(m.cfg.FgSTP.Window) - uint64(4*m.cfg.Core.ROBSize)
-	for k := range m.completeAt {
-		if k < cut {
-			delete(m.completeAt, k)
-		}
-	}
-	for i := 0; i < 2; i++ {
-		for k := range m.deliver[i] {
-			if k < cut {
-				delete(m.deliver[i], k)
-			}
-		}
-	}
+	m.completeAt.DeleteBelow(cut)
+	m.deliver[0].DeleteBelow(cut)
+	m.deliver[1].DeleteBelow(cut)
 }
 
 // coreHooks couples one core to the machine.
@@ -380,24 +382,24 @@ func (h *coreHooks) ExtReadyAt(u *ooo.UOp, srcIdx int, now int64) int64 {
 		return farFuture
 	}
 	p := u.Item.Deps[srcIdx].Producer
-	if t, ok := m.deliver[h.id][p]; ok {
+	if t, ok := m.deliver[h.id].Get(p); ok {
 		return t
 	}
-	ct, ok := m.completeAt[p]
+	ct, ok := m.completeAt.Get(p)
 	if !ok {
 		if p < m.nextCommit {
 			// Producer committed before this consumer dispatched (its
 			// timing record may be pruned): the value travelled with
 			// the committed state merge; charge one transfer from now.
 			t := m.chans[h.id].grant(now)
-			m.deliver[h.id][p] = t
+			m.deliver[h.id].Put(p, t)
 			m.emitTransfer(now, t, h.id, p)
 			return t
 		}
 		return farFuture
 	}
 	t := m.chans[h.id].grant(ct)
-	m.deliver[h.id][p] = t
+	m.deliver[h.id].Put(p, t)
 	m.emitTransfer(ct, t, h.id, p)
 	return t
 }
@@ -441,12 +443,20 @@ func (h *coreHooks) LoadGate(u *ooo.UOp, now int64) (ok, speculative bool) {
 		return true, true
 	}
 	if m.depPred.Perfect() {
+		// Oracle gate: scan the sibling's unissued stores older than the
+		// load for a true address conflict. Inlined (rather than a
+		// visitor callback) so the hot path captures no closure.
 		conflict := false
-		ps.unissuedBelow(u.GSeq(), func(g uint64) {
-			if m.tr.At(int(g)).Addr == u.DI().Addr {
-				conflict = true
+		for i := ps.head; i < len(ps.pend); i++ {
+			e := ps.pend[i]
+			if e&^issuedBit >= u.GSeq() {
+				break
 			}
-		})
+			if e&issuedBit == 0 && m.tr.At(int(e&^issuedBit)).Addr == u.DI().Addr {
+				conflict = true
+				break
+			}
+		}
 		if conflict {
 			m.GatedLoads++
 			return false, false
@@ -466,12 +476,9 @@ func (h *coreHooks) LoadGate(u *ooo.UOp, now int64) (ok, speculative bool) {
 // forwarded data.
 func (h *coreHooks) LoadExtraLatency(u *ooo.UOp) int {
 	m := h.m
-	other := 1 - h.id
-	for g, s := range m.issuedStores[other] {
-		if g < u.GSeq() && s.DI().Addr == u.DI().Addr {
-			m.ForwardedRemote++
-			return m.cfg.FgSTP.CommLatency
-		}
+	if m.cores[1-h.id].HasIssuedStoreBelow(u.GSeq(), u.DI().Addr) {
+		m.ForwardedRemote++
+		return m.cfg.FgSTP.CommLatency
 	}
 	return 0
 }
@@ -482,14 +489,9 @@ func (h *coreHooks) LoadExtraLatency(u *ooo.UOp) int {
 func (h *coreHooks) OnIssue(u *ooo.UOp, now int64) {
 	m := h.m
 	if !u.Item.Replica {
-		m.completeAt[u.GSeq()] = u.CompleteAt()
+		m.completeAt.Put(u.GSeq(), u.CompleteAt())
 	}
-	d := u.DI()
-	switch {
-	case d.IsLoad():
-		m.issuedLoads[h.id][u.GSeq()] = u
-	case d.IsStore():
-		m.issuedStores[h.id][u.GSeq()] = u
+	if u.DI().IsStore() {
 		m.pendingStores[h.id].markIssued(u.GSeq())
 		if m.unissuedStore != nil {
 			delete(m.unissuedStore, u.GSeq())
@@ -503,20 +505,11 @@ func (h *coreHooks) OnIssue(u *ooo.UOp, now int64) {
 
 // checkRemoteViolation looks for issued loads on the other core that
 // are younger than the just-resolved store and read the same address
-// with stale data.
+// with stale data (the oldest such load is the squash point; a load
+// that forwarded from a store younger than s holds current data and is
+// exempt — the core's conflict probe applies both rules).
 func (m *Machine) checkRemoteViolation(s *ooo.UOp, otherCore int, now int64) {
-	var victim *ooo.UOp
-	for _, l := range m.issuedLoads[otherCore] {
-		if l.GSeq() <= s.GSeq() || l.DI().Addr != s.DI().Addr {
-			continue
-		}
-		if f := l.ForwardedFrom(); f != nil && f.GSeq() > s.GSeq() {
-			continue // forwarded from a younger store: value is current
-		}
-		if victim == nil || l.GSeq() < victim.GSeq() {
-			victim = l
-		}
-	}
+	victim := m.cores[otherCore].FirstIssuedLoadConflict(s.GSeq(), s.DI().Addr)
 	if victim == nil {
 		return
 	}
@@ -549,17 +542,14 @@ func (h *coreHooks) CanCommit(u *ooo.UOp, now int64) bool {
 // OnCommit implements ooo.Hooks.
 func (h *coreHooks) OnCommit(u *ooo.UOp, now int64) {
 	m := h.m
-	d := u.DI()
-	if d.IsLoad() {
-		delete(m.issuedLoads[h.id], u.GSeq())
-	}
-	if d.IsStore() {
-		delete(m.issuedStores[h.id], u.GSeq())
-	}
-	m.commitsDone[u.GSeq()]++
-	for m.nextCommit < uint64(m.tr.Len()) &&
-		int(m.commitsDone[m.nextCommit]) == m.expected(m.nextCommit) {
-		delete(m.commitsDone, m.nextCommit)
+	n, _ := m.commitsDone.Get(u.GSeq())
+	m.commitsDone.Put(u.GSeq(), n+1)
+	for m.nextCommit < uint64(m.tr.Len()) {
+		c, _ := m.commitsDone.Get(m.nextCommit)
+		if int(c) != m.expected(m.nextCommit) {
+			break
+		}
+		m.commitsDone.Delete(m.nextCommit)
 		m.nextCommit++
 	}
 }

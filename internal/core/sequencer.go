@@ -10,39 +10,64 @@ import (
 )
 
 // coreStream is the per-core fetch queue the sequencer fills and the
-// core's front end drains. It implements ooo.Stream.
+// core's front end drains. It implements ooo.Stream. The queue is a
+// fixed-capacity ring (capacity queueCap, enforced by fill's space
+// checks): the old `q = q[1:]` slice idiom abandoned the backing
+// array's head on every delivered instruction and reallocated on
+// refill, a per-instruction allocation on the hottest path. Vacated
+// slots are not cleared — items only reference the trace and the
+// steering cache, both of which live for the whole run.
 type coreStream struct {
-	q   []ooo.FetchItem
-	seq *sequencer
+	buf  []ooo.FetchItem
+	mask int
+	head int
+	n    int
+	seq  *sequencer
+}
+
+func newCoreStream(capacity int, seq *sequencer) *coreStream {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &coreStream{buf: make([]ooo.FetchItem, size), mask: size - 1, seq: seq}
+}
+
+func (s *coreStream) len() int { return s.n }
+
+func (s *coreStream) push(item ooo.FetchItem) {
+	s.buf[(s.head+s.n)&s.mask] = item
+	s.n++
 }
 
 // Peek implements ooo.Stream.
 func (s *coreStream) Peek(now int64) (ooo.FetchItem, bool) {
-	if len(s.q) == 0 {
+	if s.n == 0 {
 		return ooo.FetchItem{}, false
 	}
-	return s.q[0], true
+	return s.buf[s.head], true
 }
 
 // Advance implements ooo.Stream.
-func (s *coreStream) Advance() { s.q = s.q[1:] }
+func (s *coreStream) Advance() {
+	s.head = (s.head + 1) & s.mask
+	s.n--
+}
 
 // Rewind implements ooo.Stream. The core calls it during a squash; the
 // global rewind (sequencer position, sibling core) is coordinated by
 // the machine, which squashes both cores and then rewinds the
-// sequencer, so here we only drop our own too-young items.
+// sequencer, so here we only drop our own too-young items (a suffix:
+// deliveries are in GSeq order).
 func (s *coreStream) Rewind(gseq uint64) {
-	for i, it := range s.q {
-		if it.GSeq >= gseq {
-			s.q = s.q[:i]
-			return
-		}
+	for s.n > 0 && s.buf[(s.head+s.n-1)&s.mask].GSeq >= gseq {
+		s.n--
 	}
 }
 
 // Exhausted implements ooo.Stream.
 func (s *coreStream) Exhausted() bool {
-	return len(s.q) == 0 && s.seq.pos >= uint64(s.seq.tr.Len())
+	return s.n == 0 && s.seq.pos >= uint64(s.seq.tr.Len())
 }
 
 // sequencer is the Fg-STP global front end: it walks the trace at up to
@@ -99,8 +124,8 @@ func newSequencer(cfg config.FgSTP, pcfg bpred.Config, tr *trace.Trace, st *stee
 		hiers:    [2]*mem.Hierarchy{h0, h1},
 		queueCap: 16 * cfg.FetchBandwidth,
 	}
-	s.streams[0] = &coreStream{seq: s}
-	s.streams[1] = &coreStream{seq: s}
+	s.streams[0] = newCoreStream(s.queueCap, s)
+	s.streams[1] = newCoreStream(s.queueCap, s)
 	s.lastFetchLine[0] = ^uint64(0)
 	s.lastFetchLine[1] = ^uint64(0)
 	return s, nil
@@ -158,10 +183,10 @@ func (s *sequencer) fill(now int64, nextCommit uint64) {
 
 		// Queue space: the home core (and the sibling, for replicas)
 		// must have room.
-		if len(s.streams[inf.home].q) >= s.queueCap {
+		if s.streams[inf.home].len() >= s.queueCap {
 			return
 		}
-		if inf.replica && len(s.streams[1-inf.home].q) >= s.queueCap {
+		if inf.replica && s.streams[1-inf.home].len() >= s.queueCap {
 			return
 		}
 
@@ -186,7 +211,7 @@ func (s *sequencer) fill(now int64, nextCommit uint64) {
 		}
 
 		item := ooo.FetchItem{DI: d, GSeq: s.pos, Deps: &inf.deps}
-		s.streams[inf.home].q = append(s.streams[inf.home].q, item)
+		s.streams[inf.home].push(item)
 		s.Delivered++
 		if s.onDeliver != nil {
 			s.onDeliver(d, s.pos, int(inf.home), inf.replica, now)
@@ -194,7 +219,7 @@ func (s *sequencer) fill(now int64, nextCommit uint64) {
 		if inf.replica {
 			rep := item
 			rep.Replica = true
-			s.streams[1-inf.home].q = append(s.streams[1-inf.home].q, rep)
+			s.streams[1-inf.home].push(rep)
 			s.ReplicaDeliveries++
 		}
 		s.pos++

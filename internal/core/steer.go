@@ -97,8 +97,13 @@ type steerer struct {
 // of it (its window is then the bottleneck regardless of affinity).
 func newSteerer(cfg config.FgSTP, robSize int, tr *trace.Trace) *steerer {
 	return &steerer{
-		cfg:          cfg,
-		tr:           tr,
+		cfg: cfg,
+		tr:  tr,
+		// Steering decisions are computed once per trace instruction and
+		// never evicted, so the cache always ends at tr.Len() entries;
+		// reserving that up front keeps append-growth (and its
+		// steady-state allocations) off the fill path.
+		cache:        make([]steerInfo, 0, tr.Len()),
 		memLast:      make(map[uint64]regState),
 		recentHome:   make([]uint8, robSize),
 		occupancyCap: robSize * 7 / 8,

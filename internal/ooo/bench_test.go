@@ -1,0 +1,74 @@
+package ooo
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// BenchmarkSingleCoreDrain measures the single-core cycle loop end to
+// end: fetch, rename, issue, LSQ disambiguation and commit on a real
+// workload trace. The allocs/op column is the pooling regression
+// signal for the conventional-core path.
+func BenchmarkSingleCoreDrain(b *testing.B) {
+	w, ok := workloads.ByName("gcc")
+	if !ok {
+		b.Fatal("unknown workload gcc")
+	}
+	tr := w.Trace(30_000)
+	cfg := testConfig()
+	hcfg := testHier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hier, err := mem.NewHierarchy(hcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core, err := NewCore(cfg, hier, NewTraceStream(tr), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Drain(core, tr.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "insts/op")
+}
+
+// BenchmarkFusedCoreDrain measures the two-cluster (Core Fusion style)
+// cycle loop: double-width window, cross-cluster bypass and SMU copy
+// slots — the heaviest per-cycle configuration of the ooo engine.
+func BenchmarkFusedCoreDrain(b *testing.B) {
+	w, ok := workloads.ByName("hmmer")
+	if !ok {
+		b.Fatal("unknown workload hmmer")
+	}
+	tr := w.Trace(30_000)
+	cfg := testConfig()
+	cfg.Name = "test-fused"
+	cfg.FetchWidth *= 2
+	cfg.FrontWidth *= 2
+	cfg.CommitWidth *= 2
+	cfg.ROBSize *= 2
+	cfg.LQSize *= 2
+	cfg.SQSize *= 2
+	cfg.Clusters = 2
+	cfg.CrossClusterBypass = 2
+	hcfg := testHier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hier, err := mem.NewHierarchy(hcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core, err := NewCore(cfg, hier, NewTraceStream(tr), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Drain(core, tr.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "insts/op")
+}

@@ -60,6 +60,13 @@ type Config struct {
 	Clusters           int
 	CrossClusterBypass int
 
+	// GSeqWindow bounds the spread of live global sequence numbers an
+	// externally sequenced core can hold (the Fg-STP sequencer's
+	// lookahead window); it sizes the core's GSeq lookup table. Zero
+	// means self-sequenced: the spread is bounded by ROB plus fetch
+	// buffer and the table is sized from those.
+	GSeqWindow int
+
 	// ExternalFrontend disables the core's own predictor and I-cache:
 	// fetch timing is governed entirely by the Stream (the Fg-STP
 	// global sequencer). Branch outcomes are then resolved by whoever
@@ -121,6 +128,9 @@ func (c *Config) Validate() error {
 	if c.ExtraMispredictPenalty < 0 {
 		return fmt.Errorf("core %s: negative extra mispredict penalty", c.Name)
 	}
+	if c.GSeqWindow < 0 {
+		return fmt.Errorf("core %s: negative gseq window", c.Name)
+	}
 	if c.DepPredBits < -1 || c.DepPredBits > 20 {
 		return fmt.Errorf("core %s: dep pred bits %d out of range [-1,20]", c.Name, c.DepPredBits)
 	}
@@ -162,9 +172,10 @@ type Report struct {
 	// Stall accounting: cycles the front end spent blocked, by cause.
 	FetchStallBranch int64
 	FetchStallICache int64
-	FetchStallROB    int64 // dispatch blocked on a full ROB / exhausted slots
+	FetchStallROB    int64 // dispatch blocked on a full ROB
 	FetchStallIQ     int64 // dispatch blocked on a full issue window
 	FetchStallLSQ    int64 // dispatch blocked on a full load/store queue
+	FetchStallCopy   int64 // dispatch slots exhausted by SMU copy instructions (clustered cores)
 
 	// Cycle attribution (CPI-stack style): every simulated cycle lands
 	// in exactly one bucket, attributed by the state of the commit head

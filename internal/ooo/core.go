@@ -13,8 +13,22 @@ import (
 // notReady is the completeAt sentinel of an un-issued uop.
 const notReady = int64(math.MaxInt64 / 4)
 
+// freedGSeq marks a pooled (recycled) UOp: no live instruction ever
+// carries this sequence number, so a stale producer pointer held by a
+// consumer can detect recycling by comparing the GSeq it recorded at
+// rename time against the pointee's current one.
+const freedGSeq = ^uint64(0)
+
+// sleepForever marks a candidate blocked on an unissued producer: it
+// has no computable wake time, so it sleeps until the producer's
+// startExec walks its waiter chain.
+const sleepForever = int64(1) << 62
+
 // UOp is one in-flight instruction. The timing fields are written by
 // the pipeline; hooks implementations must treat UOps as read-only.
+// UOps are pooled: a committed or squashed uop is recycled for a later
+// fetch, so holding a *UOp across commit is only safe together with
+// the GSeq it was observed under (see prodGSeq).
 type UOp struct {
 	Item    FetchItem
 	Cluster int
@@ -28,14 +42,39 @@ type UOp struct {
 
 	// Dataflow: for each real source (srcRegs[:nsrc]), either a local
 	// producer uop or an external dependence resolved through hooks.
-	nsrc    int
-	srcRegs [3]isa.Reg
-	prods   [3]*UOp
-	ext     [3]bool
+	// prodGSeq records the producer's sequence number at rename time:
+	// if the pointee's GSeq no longer matches, the producer committed
+	// and was recycled, which means its value is architectural state.
+	nsrc     int
+	srcRegs  [3]isa.Reg
+	prods    [3]*UOp
+	prodGSeq [3]uint64
+	ext      [3]bool
+	// waitSrc caches the index of the source that blocked the last
+	// operandsReady call (-1: none); see operandsReady for why checking
+	// it first is exact.
+	waitSrc int8
+	// wakeAt is the earliest cycle the blocked source can answer ready:
+	// the exact ready time when blocked on an issued local producer
+	// (its schedule is fixed), sleepForever when blocked on an unissued
+	// one (startExec wakes the waiter chain), else the next cycle
+	// (external deliveries must be re-polled). The issue scan skips the
+	// uop until then; see srcReady for why that is exact.
+	wakeAt int64
+	// Producer-issue wakeup chain: waiters heads the intrusive list of
+	// uops sleeping until THIS uop issues; nextWaiter links a sleeping
+	// uop into its blocking producer's list, and waitingOn records that
+	// producer's gseq (freedGSeq: not enqueued). SquashFrom purges
+	// squashed entries from surviving chains before any uop is recycled,
+	// so a live chain never crosses a recycled link.
+	waiters    *UOp
+	nextWaiter *UOp
+	waitingOn  uint64
 
 	// Memory state.
-	speculative bool // load issued past unknown older store addresses
-	fwdFrom     *UOp // store this load forwarded from, if any
+	speculative bool   // load issued past unknown older store addresses
+	fwdGSeq     uint64 // store this load forwarded from (valid if hasFwd)
+	hasFwd      bool
 
 	mispredicted bool // branch mispredicted by the internal front end
 
@@ -61,6 +100,13 @@ func (u *UOp) CompleteAt() int64 { return u.completeAt }
 // with unresolved address.
 func (u *UOp) Speculative() bool { return u.speculative }
 
+// ForwardedFromGSeq returns the GSeq of the local store this load
+// received its value from via store-to-load forwarding, and whether it
+// forwarded at all. The store is identified by sequence number rather
+// than pointer because it may commit (and be recycled) while the load
+// is still in flight.
+func (u *UOp) ForwardedFromGSeq() (uint64, bool) { return u.fwdGSeq, u.hasFwd }
+
 // Hooks is the extension point the Fg-STP coordinator uses to couple
 // two cores. All methods are called synchronously from Cycle. A nil
 // Hooks yields a self-contained core.
@@ -83,13 +129,17 @@ type Hooks interface {
 	OnComplete(u *UOp, now int64)
 	// CanCommit gates commit of u (global program-order commit).
 	CanCommit(u *UOp, now int64) bool
-	// OnCommit fires when u commits.
+	// OnCommit fires when u commits. The uop is recycled when the hook
+	// returns: implementations must not retain the pointer.
 	OnCommit(u *UOp, now int64)
 	// OnViolation reports a local memory-order violation at gseq.
 	// Return true if the coordinator takes responsibility for the
 	// squash (both cores); false lets the core squash itself.
 	OnViolation(gseq uint64, now int64) bool
 }
+
+// issueBudget tracks one cluster's per-cycle issue resources.
+type issueBudget struct{ alu, muldiv, fp, ld, st, slots int }
 
 // Core is one out-of-order core (or one fused two-cluster core).
 type Core struct {
@@ -101,17 +151,59 @@ type Core struct {
 	pred   *bpred.Predictor
 	dep    *DepPred
 
-	fetchq   []*UOp
+	fetchq   uopRing
 	fetchCap int
-	rob      []*UOp
-	lq, sq   []*UOp
-	byGSeq   map[uint64]*UOp
+	rob      uopRing
+	lq, sq   uopRing
 	rat      [isa.NumRegs]*UOp
 	iqCount  []int
 
+	// wtab is the window-relative GSeq lookup (replacing a per-gseq
+	// map): slot g&wmask holds the in-flight uop with sequence number
+	// g. Sized past the maximum live GSeq span (the sequencer window,
+	// or ROB+fetch buffer), two live uops never collide; lookups verify
+	// the stored GSeq so aliasing with long-committed producers reads
+	// as "not in flight".
+	wtab  []*UOp
+	wmask uint64
+
+	// pool is the UOp free list, prefilled to the maximum in-flight
+	// population so the steady-state fetch path never allocates. defq
+	// holds committed uops of a clustered core until the cross-cluster
+	// bypass window closes (consumers in the other cluster may still
+	// poll their completion time).
+	pool []*UOp
+	defq uopRing
+
+	// cand lists dispatched-but-unissued uops in GSeq order: the issue
+	// stage scans only these instead of the whole ROB. budgets is the
+	// per-cluster issue-resource scratch reused every cycle.
+	cand    []*UOp
+	budgets []issueBudget
+
+	// scanIdle records that the last issue scan found every candidate
+	// sleeping; nextWake is the earliest of their wake times. While set,
+	// the issue stage skips the scan entirely until nextWake, a dispatch
+	// appends a fresh candidate, or a squash rewrites the list.
+	scanIdle bool
+	nextWake int64
+
+	// sqUnissued counts unissued stores in the SQ; sqOldestUnissued is
+	// the GSeq of the oldest one (the disambiguation watermark): loads
+	// older than it skip the unknown-address scan entirely.
+	sqUnissued       int
+	sqOldestUnissued uint64
+
 	fetchStallUntil int64
-	blockingBranch  *UOp
 	lastFetchLine   uint64
+
+	// Mispredicted-branch fetch block, tracked by sequence number (not
+	// pointer: the branch may commit and be recycled while fetch is
+	// still stalled). branchResume stays notReady until the branch
+	// issues, then holds its redirect cycle.
+	branchActive bool
+	branchGSeq   uint64
+	branchResume int64
 
 	// Unpipelined unit reservations, per cluster.
 	mulDivBusy [][]int64
@@ -137,17 +229,50 @@ func NewCore(cfg Config, hier *mem.Hierarchy, stream Stream, hooks Hooks) (*Core
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	fetchCap := cfg.FetchWidth * (cfg.FrontendDepth + 1)
+	// Window-table sizing: strictly larger than the largest possible
+	// live GSeq span. Internally sequenced cores hold a contiguous run
+	// of at most ROB+fetch-buffer trace indexes; externally sequenced
+	// ones hold gseqs within the global lookahead window (doubled for
+	// slack around squash edges).
+	span := cfg.ROBSize + fetchCap + 1
+	if s := 2 * cfg.GSeqWindow; s > span {
+		span = s
+	}
+	wsize := 1
+	for wsize < span {
+		wsize <<= 1
+	}
+	defCap := 0
+	if cfg.Clusters > 1 {
+		defCap = cfg.CommitWidth*(cfg.CrossClusterBypass+2) + 8
+	}
 	c := &Core{
-		cfg:      cfg,
-		lat:      cfg.latencies(),
-		hier:     hier,
-		stream:   stream,
-		hooks:    hooks,
-		dep:      NewDepPred(cfg.DepPredBits),
-		byGSeq:   make(map[uint64]*UOp, cfg.ROBSize*2),
-		fetchCap: cfg.FetchWidth * (cfg.FrontendDepth + 1),
-		iqCount:  make([]int, cfg.Clusters),
-		oracle:   cfg.DepPredBits < 0,
+		cfg:              cfg,
+		lat:              cfg.latencies(),
+		hier:             hier,
+		stream:           stream,
+		hooks:            hooks,
+		dep:              NewDepPred(cfg.DepPredBits),
+		fetchq:           newUOpRing(fetchCap),
+		fetchCap:         fetchCap,
+		rob:              newUOpRing(cfg.ROBSize),
+		lq:               newUOpRing(cfg.LQSize),
+		sq:               newUOpRing(cfg.SQSize),
+		wtab:             make([]*UOp, wsize),
+		wmask:            uint64(wsize - 1),
+		cand:             make([]*UOp, 0, cfg.ROBSize),
+		budgets:          make([]issueBudget, cfg.Clusters),
+		iqCount:          make([]int, cfg.Clusters),
+		sqOldestUnissued: freedGSeq,
+		oracle:           cfg.DepPredBits < 0,
+	}
+	if defCap > 0 {
+		c.defq = newUOpRing(defCap)
+	}
+	c.pool = make([]*UOp, 0, cfg.ROBSize+fetchCap+defCap)
+	for i := 0; i < cap(c.pool); i++ {
+		c.pool = append(c.pool, &UOp{Item: FetchItem{GSeq: freedGSeq}})
 	}
 	if !cfg.ExternalFrontend {
 		p, err := bpred.New(cfg.Predictor)
@@ -164,6 +289,72 @@ func NewCore(cfg Config, hier *mem.Hierarchy, stream Stream, hooks Hooks) (*Core
 	}
 	return c, nil
 }
+
+// ------------------------------------------------------------- uop pool
+
+func (c *Core) allocUOp() *UOp {
+	if n := len(c.pool); n > 0 {
+		u := c.pool[n-1]
+		c.pool[n-1] = nil
+		c.pool = c.pool[:n-1]
+		return u
+	}
+	return &UOp{}
+}
+
+func (c *Core) freeUOp(u *UOp) {
+	*u = UOp{}
+	u.Item.GSeq = freedGSeq
+	u.waitingOn = freedGSeq
+	c.pool = append(c.pool, u)
+}
+
+// release recycles a committed uop. A clustered core defers recycling
+// until the cross-cluster bypass window closes: a consumer in the
+// other cluster polls the producer's completion time for up to
+// CrossClusterBypass cycles after it completes.
+func (c *Core) release(u *UOp) {
+	if c.cfg.Clusters > 1 {
+		c.defq.pushBack(u)
+		return
+	}
+	c.freeUOp(u)
+}
+
+// drainDeferred recycles deferred uops whose bypass window has closed
+// by cycle now. It runs before the commit stage, so a consumer polling
+// at now either sees the live producer (bypass window still open) or
+// the recycled sentinel (window closed, operand architecturally ready)
+// — the same ready/not-ready answer either way.
+func (c *Core) drainDeferred(now int64) {
+	bypass := int64(c.cfg.CrossClusterBypass)
+	for c.defq.len() > 0 {
+		u := c.defq.front()
+		if u.completeAt+bypass > now {
+			return
+		}
+		c.freeUOp(c.defq.popFront())
+	}
+}
+
+// ------------------------------------------------------ window lookup
+
+// wlookup returns the in-flight uop with sequence number g, or nil.
+func (c *Core) wlookup(g uint64) *UOp {
+	if u := c.wtab[g&c.wmask]; u != nil && u.Item.GSeq == g {
+		return u
+	}
+	return nil
+}
+
+func (c *Core) wdelete(u *UOp) {
+	idx := u.Item.GSeq & c.wmask
+	if c.wtab[idx] == u {
+		c.wtab[idx] = nil
+	}
+}
+
+// ----------------------------------------------------------- accessors
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
@@ -184,11 +375,11 @@ func (c *Core) Report() Report { return c.rpt }
 // Done reports whether the core has drained: stream exhausted and no
 // instruction in flight.
 func (c *Core) Done() bool {
-	return c.stream.Exhausted() && len(c.fetchq) == 0 && len(c.rob) == 0
+	return c.stream.Exhausted() && c.fetchq.len() == 0 && c.rob.len() == 0
 }
 
 // InFlight returns the number of uops in the ROB.
-func (c *Core) InFlight() int { return len(c.rob) }
+func (c *Core) InFlight() int { return c.rob.len() }
 
 // Committed returns the core's committed-instruction count so far; the
 // livelock watchdog polls it every cycle, so it must stay allocation-
@@ -198,10 +389,10 @@ func (c *Core) Committed() uint64 { return c.rpt.Committed }
 // OldestUncommitted returns the GSeq at the head of the ROB, or
 // ok=false when the ROB is empty.
 func (c *Core) OldestUncommitted() (uint64, bool) {
-	if len(c.rob) == 0 {
+	if c.rob.len() == 0 {
 		return 0, false
 	}
-	return c.rob[0].GSeq(), true
+	return c.rob.front().Item.GSeq, true
 }
 
 // SetEventSink installs a pipeline event sink (see internal/metrics);
@@ -220,6 +411,9 @@ func (c *Core) SetEventSink(sink metrics.Sink, coreID int) {
 // single-cycle bypass timing.
 func (c *Core) Cycle(now int64) {
 	c.rpt.Cycles = now + 1
+	if c.cfg.Clusters > 1 {
+		c.drainDeferred(now)
+	}
 	retiredBefore := c.rpt.Committed + c.rpt.Replicas
 	c.commit(now)
 	c.attributeCycle(now, retiredBefore)
@@ -241,10 +435,10 @@ func (c *Core) attributeCycle(now int64, retiredBefore uint64) {
 	switch {
 	case c.rpt.Committed+c.rpt.Replicas > retiredBefore:
 		c.rpt.CyclesActive++
-	case len(c.rob) == 0:
+	case c.rob.len() == 0:
 		c.rpt.CyclesFetchStarved++
 	default:
-		u := c.rob[0]
+		u := c.rob.front()
 		switch {
 		case !u.issued:
 			// The issue stage last polled operands at now-1 (commit runs
@@ -265,17 +459,12 @@ func (c *Core) attributeCycle(now int64, retiredBefore uint64) {
 // ---------------------------------------------------------------- fetch
 
 func (c *Core) fetch(now int64) {
-	if c.blockingBranch != nil {
-		u := c.blockingBranch
-		resume := notReady
-		if u.issued {
-			resume = u.completeAt + int64(c.cfg.ExtraMispredictPenalty)
-		}
-		if now < resume {
+	if c.branchActive {
+		if now < c.branchResume {
 			c.rpt.FetchStallBranch++
 			return
 		}
-		c.blockingBranch = nil
+		c.branchActive = false
 	}
 	if now < c.fetchStallUntil {
 		c.rpt.FetchStallICache++
@@ -290,7 +479,7 @@ func (c *Core) fetch(now int64) {
 		width *= 2
 	}
 	for budget := width; budget > 0; budget-- {
-		if len(c.fetchq) >= c.fetchCap {
+		if c.fetchq.len() >= c.fetchCap {
 			return
 		}
 		item, ok := c.stream.Peek(now)
@@ -311,14 +500,16 @@ func (c *Core) fetch(now int64) {
 			}
 		}
 		c.stream.Advance()
-		u := &UOp{
-			Item:          item,
-			fetchedAt:     now,
-			dispatchReady: now + int64(c.cfg.FrontendDepth),
-			completeAt:    notReady,
-			extWaitAt:     -2, // no external poll yet
-		}
-		c.fetchq = append(c.fetchq, u)
+		u := c.allocUOp()
+		u.Item = item
+		u.fetchedAt = now
+		u.dispatchReady = now + int64(c.cfg.FrontendDepth)
+		u.completeAt = notReady
+		u.extWaitAt = -2 // no external poll yet
+		u.waitSrc = -1
+		u.wakeAt = 0
+		u.waiters, u.nextWaiter, u.waitingOn = nil, nil, freedGSeq
+		c.fetchq.pushBack(u)
 		c.rpt.Fetched++
 
 		if !c.cfg.ExternalFrontend && item.DI.IsCtrl() {
@@ -338,7 +529,7 @@ func (c *Core) observeControl(u *UOp) bool {
 		if !c.pred.ObserveBranch(d.PC, d.Taken) {
 			c.rpt.BranchMispredicts++
 			u.mispredicted = true
-			c.blockingBranch = u
+			c.blockOnBranch(u)
 			return true
 		}
 		return d.Taken // taken-branch fetch break
@@ -358,7 +549,7 @@ func (c *Core) observeControl(u *UOp) bool {
 		if !correct {
 			c.rpt.IndirectMispredicts++
 			u.mispredicted = true
-			c.blockingBranch = u
+			c.blockOnBranch(u)
 			return true
 		}
 		return true // all jumps break the fetch group
@@ -366,24 +557,34 @@ func (c *Core) observeControl(u *UOp) bool {
 	return false
 }
 
+// blockOnBranch stalls fetch until the mispredicted control op at u
+// resolves. The resume cycle is recorded when the branch issues (its
+// completion time plus the redirect penalty); until then it is
+// notReady, i.e. fetch stalls unconditionally.
+func (c *Core) blockOnBranch(u *UOp) {
+	c.branchActive = true
+	c.branchGSeq = u.Item.GSeq
+	c.branchResume = notReady
+}
+
 // -------------------------------------------------------------- dispatch
 
 func (c *Core) dispatch(now int64) {
-	for budget := c.cfg.FrontWidth; budget > 0 && len(c.fetchq) > 0; budget-- {
-		u := c.fetchq[0]
+	for budget := c.cfg.FrontWidth; budget > 0 && c.fetchq.len() > 0; budget-- {
+		u := c.fetchq.front()
 		if u.dispatchReady > now {
 			return
 		}
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.rob.len() >= c.cfg.ROBSize {
 			c.rpt.FetchStallROB++
 			return
 		}
 		d := u.DI()
-		if d.IsLoad() && len(c.lq) >= c.cfg.LQSize {
+		if d.IsLoad() && c.lq.len() >= c.cfg.LQSize {
 			c.rpt.FetchStallLSQ++
 			return
 		}
-		if d.IsStore() && len(c.sq) >= c.cfg.SQSize {
+		if d.IsStore() && c.sq.len() >= c.cfg.SQSize {
 			c.rpt.FetchStallLSQ++
 			return
 		}
@@ -405,20 +606,34 @@ func (c *Core) dispatch(now int64) {
 				}
 			}
 			if budget < 0 {
-				c.rpt.FetchStallROB++
+				c.rpt.FetchStallCopy++
 				return
 			}
 		}
-		c.fetchq = c.fetchq[1:]
-		c.rob = append(c.rob, u)
-		c.byGSeq[u.GSeq()] = u
+		c.fetchq.popFront()
+		c.rob.pushBack(u)
+		if idx := u.Item.GSeq & c.wmask; c.wtab[idx] == nil {
+			c.wtab[idx] = u
+		} else {
+			// Slots are nil'ed at commit and squash, so a collision
+			// means two live uops alias — the window table is undersized
+			// (GSeqWindow misconfigured). Fail loudly: a silent overwrite
+			// would corrupt dependence resolution.
+			panic("ooo: window table collision")
+		}
 		c.iqCount[cluster]++
 		u.dispatched = true
+		c.cand = append(c.cand, u)
+		c.scanIdle = false
 		if d.IsLoad() {
-			c.lq = append(c.lq, u)
+			c.lq.pushBack(u)
 		}
 		if d.IsStore() {
-			c.sq = append(c.sq, u)
+			c.sq.pushBack(u)
+			if c.sqUnissued == 0 {
+				c.sqOldestUnissued = u.Item.GSeq
+			}
+			c.sqUnissued++
 		}
 		if d.HasDst() {
 			c.rat[d.Dst] = u
@@ -446,13 +661,19 @@ func (c *Core) resolveDeps(u *UOp) {
 			default:
 				// Local producer: still in flight, or already committed
 				// (then the value is architectural).
-				u.prods[i] = c.byGSeq[dep.Producer]
+				if p := c.wlookup(dep.Producer); p != nil {
+					u.prods[i] = p
+					u.prodGSeq[i] = dep.Producer
+				}
 			}
 		}
 		return
 	}
 	for i, r := range srcs {
-		u.prods[i] = c.rat[r]
+		if p := c.rat[r]; p != nil {
+			u.prods[i] = p
+			u.prodGSeq[i] = p.Item.GSeq
+		}
 	}
 }
 
@@ -510,97 +731,163 @@ func kindOf(cl isa.Class) fuKind {
 	}
 }
 
+// issue walks the unissued-candidate list (the ROB minus everything
+// already executing) in program order, issuing whatever has operands
+// and resources, and compacts the issued entries out of the list.
 func (c *Core) issue(now int64) {
-	type budget struct{ alu, muldiv, fp, ld, st, slots int }
-	budgets := make([]budget, c.cfg.Clusters)
+	if c.scanIdle && now < c.nextWake {
+		// Every candidate was asleep last scan and none can wake before
+		// nextWake; dispatch and squash clear the flag when they change
+		// the list. Skipping the scan repeats no observable work.
+		return
+	}
+	c.scanIdle = false
+	budgets := c.budgets
 	for k := range budgets {
-		budgets[k] = budget{
+		budgets[k] = issueBudget{
 			alu: c.cfg.IntALU, muldiv: c.cfg.IntMulDiv, fp: c.cfg.FPU,
 			ld: c.cfg.LoadPorts, st: c.cfg.StorePorts, slots: c.cfg.IssueWidth,
 		}
 	}
 
-	for _, u := range c.rob {
-		if u.issued {
-			continue
-		}
-		b := &budgets[u.Cluster]
-		if b.slots == 0 {
-			// This cluster is out of issue slots; others may still go.
-			continue
-		}
-		if !c.operandsReady(u, now) {
-			continue
-		}
-		d := u.DI()
-		kind := kindOf(d.Class)
-		var unit *int64
-		switch kind {
-		case fuALU:
-			if b.alu == 0 {
-				continue
-			}
-		case fuMulDiv:
-			if b.muldiv == 0 {
-				continue
-			}
-			if d.Class == isa.ClassIntDiv {
-				unit = c.freeUnit(c.mulDivBusy[u.Cluster], now)
-				if unit == nil {
-					continue
-				}
-			}
-		case fuFP:
-			if b.fp == 0 {
-				continue
-			}
-			if d.Class == isa.ClassFPDiv {
-				unit = c.freeUnit(c.fpDivBusy[u.Cluster], now)
-				if unit == nil {
-					continue
-				}
-			}
-		case fuLoad:
-			if b.ld == 0 {
-				continue
-			}
-			ok, lat := c.loadReady(u, now)
-			if !ok {
-				continue
-			}
-			c.startExec(u, now, lat)
-			b.ld--
-			b.slots--
-			continue
-		case fuStore:
-			if b.st == 0 {
-				continue
-			}
-			c.startExec(u, now, c.lat[d.Class].Cycles)
-			b.st--
-			b.slots--
-			c.storeAddressKnown(u, now)
-			if c.hasViolation {
-				return // squash pending; stop issuing
-			}
-			continue
-		}
-
-		lat := c.lat[d.Class].Cycles
-		c.startExec(u, now, lat)
-		if unit != nil {
-			*unit = now + int64(lat)
-		}
-		switch kind {
-		case fuALU:
-			b.alu--
-		case fuMulDiv:
-			b.muldiv--
-		case fuFP:
-			b.fp--
-		}
-		b.slots--
+	free := 0
+	for k := range budgets {
+		free += budgets[k].slots
 	}
+	cand := c.cand
+	allSleep := true
+	minWake := sleepForever
+	w := 0
+	for i := 0; i < len(cand); i++ {
+		if free == 0 {
+			// Every cluster is out of issue slots: tryIssue would reject
+			// each remaining candidate at its slot check, before any
+			// side-effecting readiness probe — skip the scan.
+			allSleep = false
+			w += copy(cand[w:], cand[i:])
+			break
+		}
+		u := cand[i]
+		if u.wakeAt > now {
+			// Provably not ready before wakeAt; re-probing would only
+			// repeat pure reads (see srcReady).
+			if u.wakeAt < minWake {
+				minWake = u.wakeAt
+			}
+			if w != i {
+				cand[w] = u
+			}
+			w++
+			continue
+		}
+		allSleep = false
+		if !c.tryIssue(u, now, budgets) {
+			// Compact in place; skip the (write-barriered) store while
+			// the list is still dense.
+			if w != i {
+				cand[w] = u
+			}
+			w++
+		} else {
+			free--
+		}
+		if c.hasViolation {
+			// Squash pending; stop issuing. The unprocessed tail stays
+			// unissued.
+			w += copy(cand[w:], cand[i+1:])
+			break
+		}
+	}
+	for j := w; j < len(cand); j++ {
+		cand[j] = nil
+	}
+	c.cand = cand[:w]
+	if allSleep {
+		// Nothing was probed: the list (possibly empty) is all sleepers.
+		// The oldest candidate never sleeps on an unissued producer (its
+		// producers, being older, would precede it in the list), so
+		// minWake is finite whenever the list is non-empty.
+		c.scanIdle, c.nextWake = true, minWake
+	}
+}
+
+// tryIssue attempts to start u's execution at now; it reports whether
+// the uop issued (and so leaves the candidate list).
+func (c *Core) tryIssue(u *UOp, now int64, budgets []issueBudget) bool {
+	b := &budgets[u.Cluster]
+	if b.slots == 0 {
+		// This cluster is out of issue slots; others may still go.
+		return false
+	}
+	if !c.operandsReady(u, now) {
+		return false
+	}
+	d := u.DI()
+	kind := kindOf(d.Class)
+	var unit *int64
+	switch kind {
+	case fuALU:
+		if b.alu == 0 {
+			return false
+		}
+	case fuMulDiv:
+		if b.muldiv == 0 {
+			return false
+		}
+		if d.Class == isa.ClassIntDiv {
+			unit = c.freeUnit(c.mulDivBusy[u.Cluster], now)
+			if unit == nil {
+				return false
+			}
+		}
+	case fuFP:
+		if b.fp == 0 {
+			return false
+		}
+		if d.Class == isa.ClassFPDiv {
+			unit = c.freeUnit(c.fpDivBusy[u.Cluster], now)
+			if unit == nil {
+				return false
+			}
+		}
+	case fuLoad:
+		if b.ld == 0 {
+			return false
+		}
+		ok, lat := c.loadReady(u, now)
+		if !ok {
+			return false
+		}
+		c.startExec(u, now, lat)
+		b.ld--
+		b.slots--
+		return true
+	case fuStore:
+		if b.st == 0 {
+			return false
+		}
+		c.startExec(u, now, c.lat[d.Class].Cycles)
+		b.st--
+		b.slots--
+		c.storeAddressKnown(u, now)
+		return true
+	}
+
+	lat := c.lat[d.Class].Cycles
+	c.startExec(u, now, lat)
+	if unit != nil {
+		*unit = now + int64(lat)
+	}
+	switch kind {
+	case fuALU:
+		b.alu--
+	case fuMulDiv:
+		b.muldiv--
+	case fuFP:
+		b.fp--
+	}
+	b.slots--
+	return true
 }
 
 func (c *Core) startExec(u *UOp, now int64, lat int) {
@@ -609,6 +896,28 @@ func (c *Core) startExec(u *UOp, now int64, lat int) {
 	u.completeAt = now + int64(lat)
 	c.iqCount[u.Cluster]--
 	c.rpt.Issued++
+	if u.DI().IsStore() {
+		c.sqUnissued--
+		if u.Item.GSeq == c.sqOldestUnissued {
+			c.advanceSQWatermark()
+		}
+	}
+	if c.branchActive && u.Item.GSeq == c.branchGSeq {
+		c.branchResume = u.completeAt + int64(c.cfg.ExtraMispredictPenalty)
+	}
+	// Wake consumers sleeping on this producer. They sit later in the
+	// candidate list (younger), so the current scan revisits them after
+	// this issue — the same cycle a polling scan would notice.
+	for wtr := u.waiters; wtr != nil; {
+		nxt := wtr.nextWaiter
+		if wtr.waitingOn == u.Item.GSeq {
+			wtr.waitingOn = freedGSeq
+			wtr.nextWaiter = nil
+			wtr.wakeAt = 0
+		}
+		wtr = nxt
+	}
+	u.waiters = nil
 	if c.sink != nil {
 		c.sink.Emit(metrics.Event{
 			Cycle: now, Dur: int64(lat), Kind: metrics.EvIssue,
@@ -618,6 +927,18 @@ func (c *Core) startExec(u *UOp, now int64, lat int) {
 	if c.hooks != nil {
 		c.hooks.OnIssue(u, now)
 		c.hooks.OnComplete(u, u.completeAt)
+	}
+}
+
+// advanceSQWatermark recomputes the oldest-unissued-store watermark
+// after the store holding it issued.
+func (c *Core) advanceSQWatermark() {
+	c.sqOldestUnissued = freedGSeq
+	for i := 0; i < c.sq.len(); i++ {
+		if s := c.sq.at(i); !s.issued {
+			c.sqOldestUnissued = s.Item.GSeq
+			return
+		}
 	}
 }
 
@@ -633,29 +954,85 @@ func (c *Core) freeUnit(units []int64, now int64) *int64 {
 
 // operandsReady checks register dataflow (local bypass network and
 // cross-core channel).
+//
+// The waitSrc cache re-checks last cycle's first blocking source before
+// anything else: while it still blocks, the sources before it need no
+// re-poll (they answered ready, which is stable — local completions are
+// scheduled, external deliveries memoised) and the sources after it
+// were never reached by the in-order scan, so skipping them leaves the
+// hook-call sequence — and thus channel grant timing — exactly as the
+// plain scan produces it.
 func (c *Core) operandsReady(u *UOp, now int64) bool {
+	if j := u.waitSrc; j >= 0 {
+		if !c.srcReady(u, int(j), now) {
+			return false
+		}
+		u.waitSrc = -1
+	}
 	for i := 0; i < u.nsrc; i++ {
-		if u.ext[i] {
-			if c.hooks.ExtReadyAt(u, i, now) > now {
-				u.extWaitAt = now
-				return false
-			}
-			continue
-		}
-		p := u.prods[i]
-		if p == nil {
-			continue
-		}
-		if !p.issued {
+		if !c.srcReady(u, i, now) {
+			u.waitSrc = int8(i)
 			return false
 		}
-		ready := p.completeAt
-		if p.Cluster != u.Cluster {
-			ready += int64(c.cfg.CrossClusterBypass)
-		}
-		if ready > now {
+	}
+	return true
+}
+
+// srcReady checks one source of u. Re-polling a source that already
+// answered ready is free of side effects: ExtReadyAt memoises its
+// grant on the first ready answer, and the local-producer path only
+// reads the producer's schedule.
+func (c *Core) srcReady(u *UOp, i int, now int64) bool {
+	if u.ext[i] {
+		if c.hooks.ExtReadyAt(u, i, now) > now {
+			u.extWaitAt = now
+			// External delivery estimates are not binding (fault
+			// injection can defer them): re-poll every cycle.
+			u.wakeAt = now + 1
 			return false
 		}
+		return true
+	}
+	p := u.prods[i]
+	if p == nil {
+		return true
+	}
+	if p.Item.GSeq != u.prodGSeq[i] {
+		// The producer committed and its record was recycled: its
+		// value is architectural state now. (A clustered core defers
+		// recycling past the bypass window, so a mismatch here never
+		// hides a bypass stall.)
+		u.prods[i] = nil
+		return true
+	}
+	if !p.issued {
+		// No computable ready time until the producer issues: sleep on
+		// the producer's waiter chain (startExec wakes it). Exact because
+		// this poll is a pure read — skipping the repeats changes no
+		// state — and the wake re-probe happens in the same scan that
+		// issues the producer (consumers are younger, hence later in the
+		// candidate list), just as a polling scan would re-poll it.
+		if u.waitingOn != p.Item.GSeq {
+			u.waitingOn = p.Item.GSeq
+			u.nextWaiter = p.waiters
+			p.waiters = u
+		}
+		u.wakeAt = sleepForever
+		return false
+	}
+	ready := p.completeAt
+	if p.Cluster != u.Cluster {
+		ready += int64(c.cfg.CrossClusterBypass)
+	}
+	if ready > now {
+		// Exact wake time: the producer's schedule is fixed once it
+		// issues, and on clustered cores the deferred-release window
+		// keeps this answer stable even if the producer commits first
+		// (recycling — which would flip the gseq check above to
+		// "architecturally ready" — is deferred to the same cycle
+		// `ready` a live poll would have answered ready).
+		u.wakeAt = ready
+		return false
 	}
 	return true
 }
@@ -663,33 +1040,59 @@ func (c *Core) operandsReady(u *UOp, now int64) bool {
 // loadReady decides whether load u can issue now and returns its
 // execution latency. It implements store-to-load forwarding and
 // speculative disambiguation against the local store queue, plus the
-// cross-core gate.
+// cross-core gate. The unissued-store count and watermark let the
+// common case (no older store with unknown address) skip the
+// unknown-address logic without walking the queue.
 func (c *Core) loadReady(u *UOp, now int64) (bool, int) {
 	speculative := false
-	var fwd *UOp
-	for i := len(c.sq) - 1; i >= 0; i-- {
-		s := c.sq[i]
-		if s.GSeq() >= u.GSeq() {
-			continue
+	g := u.Item.GSeq
+	n := c.sq.len()
+	// Stores older than the load form a prefix [0, b) of the SQ; count
+	// the unissued ones among the younger suffix to subtract.
+	b := n
+	unissuedYounger := 0
+	for b > 0 {
+		s := c.sq.at(b - 1)
+		if s.Item.GSeq < g {
+			break
 		}
-		if s.issued {
-			if fwd == nil && s.DI().Addr == u.DI().Addr {
-				fwd = s
-			}
-			continue
+		if !s.issued {
+			unissuedYounger++
 		}
-		// Older store with unknown address.
+		b--
+	}
+	unissuedOlder := c.sqUnissued - unissuedYounger
+	if c.sqUnissued == 0 || c.sqOldestUnissued >= g {
+		unissuedOlder = 0
+	}
+	if unissuedOlder > 0 {
 		if c.oracle {
 			// Oracle: wait only on true conflicts.
-			if s.DI().Addr == u.DI().Addr {
+			for i := b - 1; i >= 0; i-- {
+				s := c.sq.at(i)
+				if !s.issued && s.DI().Addr == u.DI().Addr {
+					return false, 0
+				}
+			}
+		} else {
+			// One predictor query per unissued older store, exactly as
+			// the full-queue scan made (the count drives the predictor's
+			// periodic clear).
+			if c.dep.MustWaitN(u.DI().PC, unissuedOlder) {
 				return false, 0
 			}
-			continue
+			speculative = true
 		}
-		if c.dep.MustWait(u.DI().PC) {
-			return false, 0
+	}
+	// Store-to-load forwarding: youngest already-issued older store to
+	// the same address.
+	var fwd *UOp
+	for i := b - 1; i >= 0; i-- {
+		s := c.sq.at(i)
+		if s.issued && s.DI().Addr == u.DI().Addr {
+			fwd = s
+			break
 		}
-		speculative = true
 	}
 	if c.hooks != nil {
 		ok, spec := c.hooks.LoadGate(u, now)
@@ -703,7 +1106,8 @@ func (c *Core) loadReady(u *UOp, now int64) (bool, int) {
 		c.rpt.LoadsSpeculative++
 	}
 	if fwd != nil {
-		u.fwdFrom = fwd
+		u.fwdGSeq = fwd.Item.GSeq
+		u.hasFwd = true
 		c.rpt.LoadsForwarded++
 		return true, 1
 	}
@@ -718,9 +1122,10 @@ func (c *Core) loadReady(u *UOp, now int64) (bool, int) {
 // already issued with the same address and stale data — a memory-order
 // violation.
 func (c *Core) storeAddressKnown(s *UOp, now int64) {
-	var victim *UOp
-	for _, l := range c.lq {
-		if l.GSeq() <= s.GSeq() || !l.issued {
+	sg := s.Item.GSeq
+	for i := 0; i < c.lq.len(); i++ {
+		l := c.lq.at(i)
+		if l.Item.GSeq <= sg || !l.issued {
 			continue
 		}
 		if l.DI().Addr != s.DI().Addr {
@@ -728,20 +1133,16 @@ func (c *Core) storeAddressKnown(s *UOp, now int64) {
 		}
 		// The load is safe if it forwarded from a store younger than s
 		// (that store's value supersedes s's).
-		if l.fwdFrom != nil && l.fwdFrom.GSeq() > s.GSeq() {
+		if l.hasFwd && l.fwdGSeq > sg {
 			continue
 		}
-		if victim == nil || l.GSeq() < victim.GSeq() {
-			victim = l
-		}
-	}
-	if victim == nil {
+		// The LQ is in GSeq order, so the first match is the oldest.
+		c.rpt.MemViolations++
+		c.dep.Violation(l.DI().PC)
+		c.pendingViolation = l.Item.GSeq
+		c.hasViolation = true
 		return
 	}
-	c.rpt.MemViolations++
-	c.dep.Violation(victim.DI().PC)
-	c.pendingViolation = victim.GSeq()
-	c.hasViolation = true
 }
 
 func (c *Core) handleViolation(now int64) {
@@ -757,8 +1158,8 @@ func (c *Core) handleViolation(now int64) {
 // ---------------------------------------------------------------- commit
 
 func (c *Core) commit(now int64) {
-	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
-		u := c.rob[0]
+	for n := 0; n < c.cfg.CommitWidth && c.rob.len() > 0; n++ {
+		u := c.rob.front()
 		if !u.issued || u.completeAt > now {
 			return
 		}
@@ -769,13 +1170,13 @@ func (c *Core) commit(now int64) {
 		if d.IsStore() {
 			c.hier.Store(d.Addr)
 		}
-		c.rob = c.rob[1:]
-		delete(c.byGSeq, u.GSeq())
+		c.rob.popFront()
+		c.wdelete(u)
 		if d.IsLoad() {
-			c.lq = c.lq[1:]
+			c.lq.popFront()
 		}
 		if d.IsStore() {
-			c.sq = c.sq[1:]
+			c.sq.popFront()
 		}
 		if d.HasDst() && c.rat[d.Dst] == u {
 			c.rat[d.Dst] = nil
@@ -793,6 +1194,7 @@ func (c *Core) commit(now int64) {
 		if c.hooks != nil {
 			c.hooks.OnCommit(u, now)
 		}
+		c.release(u)
 	}
 }
 
@@ -801,51 +1203,102 @@ func (c *Core) commit(now int64) {
 // SquashFrom discards every uop with GSeq >= gseq from the pipeline,
 // rewinds the stream to gseq and restarts fetch. The refetched
 // instructions pay the frontend depth again through dispatchReady.
+// Discarded uops go back to the pool: nothing can reference them, since
+// every consumer of a squashed producer is younger and squashed too.
 func (c *Core) SquashFrom(gseq uint64, now int64) {
 	c.rpt.Squashes++
 	if c.sink != nil {
 		c.sink.Emit(metrics.Event{Cycle: now, Kind: metrics.EvSquash, GSeq: gseq})
 	}
 
-	// Fetch queue: entries are in GSeq order.
-	for i, u := range c.fetchq {
-		if u.GSeq() >= gseq {
-			c.rpt.Squashed += uint64(len(c.fetchq) - i)
-			c.fetchq = c.fetchq[:i]
-			break
-		}
+	// Fetch queue: entries are in GSeq order, and were never renamed,
+	// so they can be recycled immediately.
+	fcut := c.fetchq.len()
+	for fcut > 0 && c.fetchq.at(fcut-1).Item.GSeq >= gseq {
+		fcut--
 	}
-	// ROB and derived structures.
-	cut := len(c.rob)
-	for i, u := range c.rob {
-		if u.GSeq() >= gseq {
-			cut = i
-			break
-		}
+	for j := fcut; j < c.fetchq.len(); j++ {
+		c.freeUOp(c.fetchq.at(j))
 	}
-	for _, u := range c.rob[cut:] {
-		delete(c.byGSeq, u.GSeq())
+	c.rpt.Squashed += uint64(c.fetchq.truncateFrom(fcut))
+
+	// ROB and derived structures (all hold the same uops; only the ROB
+	// recycles them, after every alias slot has been cleared).
+	cut := c.rob.len()
+	for cut > 0 && c.rob.at(cut-1).Item.GSeq >= gseq {
+		cut--
+	}
+	for j := cut; j < c.rob.len(); j++ {
+		u := c.rob.at(j)
+		c.wdelete(u)
 		if !u.issued {
 			c.iqCount[u.Cluster]--
 		}
 		c.rpt.Squashed++
 	}
-	c.rob = c.rob[:cut]
-	c.lq = truncateGSeq(c.lq, gseq)
-	c.sq = truncateGSeq(c.sq, gseq)
+	c.lq.truncateGSeq(gseq)
+	c.sq.truncateGSeq(gseq)
+	ci := len(c.cand)
+	for ci > 0 && c.cand[ci-1].Item.GSeq >= gseq {
+		ci--
+	}
+	for j := ci; j < len(c.cand); j++ {
+		c.cand[j] = nil
+	}
+	c.cand = c.cand[:ci]
+	// Purge squashed entries from surviving producers' waiter chains
+	// BEFORE any squashed uop is recycled: freeUOp zeroes the links a
+	// live chain still traverses, and a recycled waiter could later be
+	// re-enqueued elsewhere, corrupting both chains. Only unissued uops
+	// hold waiters, and those are exactly the candidate list.
+	for _, v := range c.cand {
+		if v.waiters == nil {
+			continue
+		}
+		var keep *UOp
+		for wtr := v.waiters; wtr != nil; {
+			nxt := wtr.nextWaiter
+			if wtr.Item.GSeq < gseq && wtr.waitingOn == v.Item.GSeq {
+				wtr.nextWaiter = keep
+				keep = wtr
+			} else {
+				wtr.nextWaiter = nil
+			}
+			wtr = nxt
+		}
+		v.waiters = keep
+	}
+	c.scanIdle = false
+	for j := cut; j < c.rob.len(); j++ {
+		c.freeUOp(c.rob.at(j))
+	}
+	c.rob.truncateFrom(cut)
+
+	// Recount the unissued-store watermark over the surviving SQ.
+	c.sqUnissued = 0
+	c.sqOldestUnissued = freedGSeq
+	for i := 0; i < c.sq.len(); i++ {
+		if s := c.sq.at(i); !s.issued {
+			if c.sqUnissued == 0 {
+				c.sqOldestUnissued = s.Item.GSeq
+			}
+			c.sqUnissued++
+		}
+	}
 
 	// Rebuild the rename table from the surviving window.
 	for i := range c.rat {
 		c.rat[i] = nil
 	}
-	for _, u := range c.rob {
+	for i := 0; i < c.rob.len(); i++ {
+		u := c.rob.at(i)
 		if d := u.DI(); d.HasDst() {
 			c.rat[d.Dst] = u
 		}
 	}
 
-	if c.blockingBranch != nil && c.blockingBranch.GSeq() >= gseq {
-		c.blockingBranch = nil
+	if c.branchActive && c.branchGSeq >= gseq {
+		c.branchActive = false
 	}
 	c.stream.Rewind(gseq)
 	// Redirect: fetch restarts next cycle; the refill cost comes from
@@ -857,31 +1310,56 @@ func (c *Core) SquashFrom(gseq uint64, now int64) {
 	c.lastFetchLine = ^uint64(0)
 }
 
-func truncateGSeq(q []*UOp, gseq uint64) []*UOp {
-	for i, u := range q {
-		if u.GSeq() >= gseq {
-			return q[:i]
-		}
-	}
-	return q
-}
-
-// ForwardedFrom returns the local store this load received its value
-// from via store-to-load forwarding, or nil.
-func (u *UOp) ForwardedFrom() *UOp { return u.fwdFrom }
+// ------------------------------------------------------- coordinator API
 
 // OldestUnfinished returns the GSeq of the oldest instruction this core
 // knows about that has not finished executing by cycle now (in the ROB
 // or still in the fetch queue). ok=false means everything the core
 // holds is complete.
 func (c *Core) OldestUnfinished(now int64) (uint64, bool) {
-	for _, u := range c.rob {
+	for i := 0; i < c.rob.len(); i++ {
+		u := c.rob.at(i)
 		if !u.issued || u.completeAt > now {
-			return u.GSeq(), true
+			return u.Item.GSeq, true
 		}
 	}
-	if len(c.fetchq) > 0 {
-		return c.fetchq[0].GSeq(), true
+	if c.fetchq.len() > 0 {
+		return c.fetchq.front().Item.GSeq, true
 	}
 	return 0, false
+}
+
+// HasIssuedStoreBelow reports whether an issued, still-uncommitted
+// store older than gseq to addr sits in this core's store queue — the
+// cross-core store-forwarding probe of the Fg-STP coordinator.
+func (c *Core) HasIssuedStoreBelow(gseq, addr uint64) bool {
+	for i := 0; i < c.sq.len(); i++ {
+		s := c.sq.at(i)
+		if s.Item.GSeq >= gseq {
+			return false
+		}
+		if s.issued && s.DI().Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstIssuedLoadConflict returns the oldest issued, still-uncommitted
+// load younger than gseq that read addr with stale data (i.e. not
+// forwarded from a store younger than gseq), or nil — the victim scan
+// of cross-core memory-order violation detection. The returned uop is
+// only valid for the duration of the call chain that obtained it.
+func (c *Core) FirstIssuedLoadConflict(gseq, addr uint64) *UOp {
+	for i := 0; i < c.lq.len(); i++ {
+		l := c.lq.at(i)
+		if l.Item.GSeq <= gseq || !l.issued || l.DI().Addr != addr {
+			continue
+		}
+		if l.hasFwd && l.fwdGSeq > gseq {
+			continue
+		}
+		return l
+	}
+	return nil
 }

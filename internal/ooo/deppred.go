@@ -69,6 +69,31 @@ func (p *DepPred) MustWait(pc uint64) bool {
 	return p.table[p.index(pc)] != 0
 }
 
+// MustWaitN is the batched form of MustWait for a load facing n older
+// stores with unresolved addresses: it replicates, call for call, the
+// legacy per-store query loop (one MustWait per store, aborting on the
+// first "wait" answer), so the predictor's operation counter — and with
+// it the periodic table clear — advances exactly as if the caller had
+// scanned the store queue. The first query decides the outcome: if it
+// answers "go", the remaining n-1 queries provably answer "go" too
+// (nothing sets a table entry between queries of one scan, and clears
+// only zero the table), but they are still issued for their counter
+// side effect and checked for faithfulness.
+func (p *DepPred) MustWaitN(pc uint64, n int) bool {
+	if p.conservative || p.perfect || n <= 0 {
+		return p.MustWait(pc)
+	}
+	if p.MustWait(pc) {
+		return true
+	}
+	for k := 1; k < n; k++ {
+		if p.MustWait(pc) {
+			return true
+		}
+	}
+	return false
+}
+
 // Violation trains the predictor after the load at pc was squashed by a
 // memory-order violation.
 func (p *DepPred) Violation(pc uint64) {

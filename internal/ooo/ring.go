@@ -1,0 +1,73 @@
+package ooo
+
+// uopRing is a fixed-capacity FIFO of in-flight uops backed by a
+// power-of-two array. It replaces the `q = q[1:]` reslice idiom of the
+// window queues (ROB, LQ, SQ, fetch queue): popping reuses the slot
+// instead of abandoning the backing array's head, and every vacated
+// slot is nil'ed so a committed or squashed uop is never kept live by
+// the queue that used to hold it.
+//
+// Capacity is fixed at construction: the pipeline's dispatch guards
+// bound occupancy (ROBSize, LQSize, SQSize, fetchCap), so pushBack past
+// capacity is a simulator bug and panics.
+type uopRing struct {
+	buf  []*UOp
+	mask int
+	head int
+	n    int
+}
+
+// newUOpRing builds a ring holding at least capacity uops.
+func newUOpRing(capacity int) uopRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return uopRing{buf: make([]*UOp, size), mask: size - 1}
+}
+
+func (r *uopRing) len() int { return r.n }
+
+// at returns the i-th oldest entry (0 = front).
+func (r *uopRing) at(i int) *UOp { return r.buf[(r.head+i)&r.mask] }
+
+// front returns the oldest entry; the ring must be non-empty.
+func (r *uopRing) front() *UOp { return r.buf[r.head] }
+
+func (r *uopRing) pushBack(u *UOp) {
+	if r.n > r.mask {
+		panic("ooo: uop ring overflow")
+	}
+	r.buf[(r.head+r.n)&r.mask] = u
+	r.n++
+}
+
+// popFront removes and returns the oldest entry, clearing its slot.
+func (r *uopRing) popFront() *UOp {
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & r.mask
+	r.n--
+	return u
+}
+
+// truncateFrom drops entries [i, len), clearing their slots, and
+// returns how many were dropped.
+func (r *uopRing) truncateFrom(i int) int {
+	dropped := r.n - i
+	for j := i; j < r.n; j++ {
+		r.buf[(r.head+j)&r.mask] = nil
+	}
+	r.n = i
+	return dropped
+}
+
+// truncateGSeq drops every entry with GSeq >= gseq (entries are in
+// ascending GSeq order, so they form a suffix) and returns the count.
+func (r *uopRing) truncateGSeq(gseq uint64) int {
+	i := r.n
+	for i > 0 && r.at(i-1).Item.GSeq >= gseq {
+		i--
+	}
+	return r.truncateFrom(i)
+}

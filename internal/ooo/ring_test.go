@@ -1,0 +1,125 @@
+package ooo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refWindow is a deliberately naive slice-based model of a pipeline
+// window queue, written in the `q = q[1:]` idiom the ring replaced. It
+// is the differential reference for uopRing: both are driven with the
+// same operation stream and must agree on length and contents after
+// every step.
+type refWindow struct {
+	q []*UOp
+}
+
+func (w *refWindow) pushBack(u *UOp) { w.q = append(w.q, u) }
+func (w *refWindow) popFront() *UOp  { u := w.q[0]; w.q = w.q[1:]; return u }
+func (w *refWindow) truncateGSeq(gseq uint64) int {
+	i := len(w.q)
+	for i > 0 && w.q[i-1].Item.GSeq >= gseq {
+		i--
+	}
+	dropped := len(w.q) - i
+	w.q = w.q[:i]
+	return dropped
+}
+
+// The ring and the slice reference stay in lockstep across random
+// interleavings of dispatch (pushBack), commit (popFront) and squash
+// (truncateGSeq) — the three operations the engine performs on its
+// window queues.
+func TestRingMatchesSliceReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 32
+		ring := newUOpRing(capacity)
+		ref := &refWindow{}
+		next := uint64(0)
+
+		check := func(step int) {
+			t.Helper()
+			if ring.len() != len(ref.q) {
+				t.Fatalf("seed %d step %d: ring len %d, ref len %d", seed, step, ring.len(), len(ref.q))
+			}
+			for i := 0; i < ring.len(); i++ {
+				if ring.at(i) != ref.q[i] {
+					t.Fatalf("seed %d step %d: entry %d diverged (gseq %d vs %d)",
+						seed, step, i, ring.at(i).Item.GSeq, ref.q[i].Item.GSeq)
+				}
+			}
+		}
+
+		for step := 0; step < 3000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // dispatch
+				if ring.len() < capacity {
+					u := &UOp{Item: FetchItem{GSeq: next}}
+					next++
+					ring.pushBack(u)
+					ref.pushBack(u)
+				}
+			case op < 8: // commit
+				if ring.len() > 0 {
+					a, b := ring.popFront(), ref.popFront()
+					if a != b {
+						t.Fatalf("seed %d step %d: popFront returned different uops", seed, step)
+					}
+				}
+			default: // squash at a random point inside (or beyond) the window
+				g := uint64(0)
+				if ring.len() > 0 {
+					g = ring.front().Item.GSeq + uint64(rng.Intn(ring.len()+2))
+				}
+				da, db := ring.truncateGSeq(g), ref.truncateGSeq(g)
+				if da != db {
+					t.Fatalf("seed %d step %d: squash at %d dropped %d (ring) vs %d (ref)", seed, step, g, da, db)
+				}
+				// A squash rewinds the stream: re-dispatch restarts at
+				// the squash point in the reference too.
+				if ring.len() == 0 {
+					next = g
+				} else if tail := ring.at(ring.len() - 1).Item.GSeq; tail+1 < next {
+					next = tail + 1
+				}
+			}
+			check(step)
+		}
+	}
+}
+
+// Vacated ring slots must be nil'ed: a popped or squashed uop must not
+// be kept live by the queue that used to hold it (the pool recycles it,
+// and a stale reference would alias two in-flight instructions).
+func TestRingClearsVacatedSlots(t *testing.T) {
+	r := newUOpRing(8)
+	for g := uint64(0); g < 6; g++ {
+		r.pushBack(&UOp{Item: FetchItem{GSeq: g}})
+	}
+	r.popFront()
+	r.popFront()
+	r.truncateGSeq(4)
+	// Live entries: gseq 2 and 3. Every other backing slot must be nil.
+	live := map[*UOp]bool{r.at(0): true, r.at(1): true}
+	if r.len() != 2 {
+		t.Fatalf("len = %d, want 2", r.len())
+	}
+	for i, u := range r.buf {
+		if u != nil && !live[u] {
+			t.Errorf("slot %d retains dead uop gseq %d", i, u.Item.GSeq)
+		}
+	}
+}
+
+func TestRingOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pushBack past capacity did not panic")
+		}
+	}()
+	r := newUOpRing(2)
+	for i := 0; i < 3; i++ {
+		r.pushBack(&UOp{})
+	}
+}

@@ -157,4 +157,5 @@ func SetStallMetrics(r *stats.Run, prefix string, rpt *Report) {
 	r.Set(prefix+"dispatch_stall_rob", float64(rpt.FetchStallROB))
 	r.Set(prefix+"dispatch_stall_iq", float64(rpt.FetchStallIQ))
 	r.Set(prefix+"dispatch_stall_lsq", float64(rpt.FetchStallLSQ))
+	r.Set(prefix+"dispatch_stall_copy", float64(rpt.FetchStallCopy))
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Perf gate for the cycle-engine hot path.
+#
+#   bench.sh record <out.txt>            run the benchmark suite, save raw output
+#   bench.sh diff <old.txt> <new.txt>    benchstat-style summary (text, stdout)
+#   bench.sh json <old.txt> <new.txt>    same, as the committed BENCH json
+#
+# The suite is the root experiment benchmarks (E1..E10, the end-to-end
+# wall-time signal) plus the internal/ooo and internal/core
+# microbenchmarks (the allocs/op signal). Each runs BENCH_COUNT times
+# (default 6) at BENCH_TIME per run (default 1x: experiment benchmarks
+# execute a full experiment per iteration, so one iteration is already
+# seconds of work; medians across counts absorb the noise).
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-6}"
+TIME="${BENCH_TIME:-1x}"
+
+record() {
+    out="$1"
+    : >"$out"
+    echo "== bench record: root experiments (count=$COUNT, benchtime=$TIME)" >&2
+    go test -run='^$' -bench=. -benchmem -benchtime="$TIME" -count="$COUNT" . | tee -a "$out" >&2
+    echo "== bench record: internal/ooo" >&2
+    go test -run='^$' -bench=. -benchmem -benchtime="$TIME" -count="$COUNT" ./internal/ooo | tee -a "$out" >&2
+    echo "== bench record: internal/core" >&2
+    go test -run='^$' -bench=. -benchmem -benchtime="$TIME" -count="$COUNT" ./internal/core | tee -a "$out" >&2
+    echo "recorded: $out" >&2
+}
+
+case "${1:-}" in
+record)
+    [ $# -eq 2 ] || { echo "usage: bench.sh record <out.txt>" >&2; exit 2; }
+    record "$2"
+    ;;
+diff)
+    [ $# -eq 3 ] || { echo "usage: bench.sh diff <old.txt> <new.txt>" >&2; exit 2; }
+    go run ./scripts/benchdiff -format text "$2" "$3"
+    ;;
+json)
+    [ $# -eq 3 ] || { echo "usage: bench.sh json <old.txt> <new.txt>" >&2; exit 2; }
+    go run ./scripts/benchdiff -format json \
+        -note "medians of $COUNT runs at -benchtime=$TIME; see scripts/bench.sh" \
+        "$2" "$3"
+    ;;
+*)
+    echo "usage: bench.sh record <out.txt> | diff <old.txt> <new.txt> | json <old.txt> <new.txt>" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,218 @@
+// Command benchdiff compares two `go test -bench` output files and
+// emits a benchstat-style old-vs-new summary. It exists because the
+// perf gate must run in a hermetic container: no network, no
+// golang.org/x/perf dependency — just the standard library.
+//
+// Usage:
+//
+//	benchdiff [-format text|json] old.txt new.txt
+//
+// Each input is the raw output of `go test -bench . -benchmem
+// -count=N`; repeated counts of the same benchmark are aggregated by
+// median (robust to a noisy neighbour in CI). Benchmarks present in
+// only one file are reported without a delta. The JSON form is the
+// schema committed as BENCH_pr4.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark line: the measured columns of
+// `go test -bench -benchmem` output.
+type sample struct {
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+	hasMem   bool
+}
+
+// Entry is the aggregated old-vs-new record for one benchmark, as
+// serialised into the committed BENCH JSON.
+type Entry struct {
+	Name        string  `json:"name"`
+	OldNsOp     float64 `json:"old_ns_op,omitempty"`
+	NewNsOp     float64 `json:"new_ns_op,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"` // old/new wall time
+	OldBytesOp  float64 `json:"old_bytes_op,omitempty"`
+	NewBytesOp  float64 `json:"new_bytes_op,omitempty"`
+	OldAllocsOp float64 `json:"old_allocs_op,omitempty"`
+	NewAllocsOp float64 `json:"new_allocs_op,omitempty"`
+	Counts      [2]int  `json:"counts"` // samples aggregated (old, new)
+}
+
+// Doc is the top-level document of the committed perf record.
+type Doc struct {
+	Schema  string  `json:"schema"`
+	Note    string  `json:"note,omitempty"`
+	Entries []Entry `json:"benchmarks"`
+}
+
+func main() {
+	format := flag.String("format", "text", "output format: text or json")
+	note := flag.String("note", "", "free-form note embedded in the JSON document")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-format text|json] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	seen := map[string]bool{}
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range cur {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	doc := Doc{Schema: "fgstp.perf/1", Note: *note}
+	for _, n := range names {
+		e := Entry{Name: n}
+		if s, ok := old[n]; ok {
+			m := medianOf(s)
+			e.OldNsOp, e.OldBytesOp, e.OldAllocsOp = m.nsOp, m.bytesOp, m.allocsOp
+			e.Counts[0] = len(s)
+		}
+		if s, ok := cur[n]; ok {
+			m := medianOf(s)
+			e.NewNsOp, e.NewBytesOp, e.NewAllocsOp = m.nsOp, m.bytesOp, m.allocsOp
+			e.Counts[1] = len(s)
+		}
+		if e.OldNsOp > 0 && e.NewNsOp > 0 {
+			e.Speedup = e.OldNsOp / e.NewNsOp
+		}
+		doc.Entries = append(doc.Entries, e)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	case "text":
+		writeText(os.Stdout, doc)
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text or json)", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+// parseFile collects the samples of every benchmark in one output file.
+func parseFile(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][]sample{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if ok {
+			out[name] = append(out[name], s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// parseLine decodes one "BenchmarkX-8  N  123 ns/op  45 B/op  6
+// allocs/op ..." line. The -cpu suffix is stripped so recordings from
+// machines with different core counts still line up.
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var s sample
+	got := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsOp, got = v, true
+		case "B/op":
+			s.bytesOp, s.hasMem = v, true
+		case "allocs/op":
+			s.allocsOp, s.hasMem = v, true
+		}
+	}
+	return name, s, got
+}
+
+// medianOf aggregates samples by per-column median.
+func medianOf(s []sample) sample {
+	col := func(get func(sample) float64) float64 {
+		vs := make([]float64, len(s))
+		for i, x := range s {
+			vs[i] = get(x)
+		}
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+	return sample{
+		nsOp:     col(func(x sample) float64 { return x.nsOp }),
+		bytesOp:  col(func(x sample) float64 { return x.bytesOp }),
+		allocsOp: col(func(x sample) float64 { return x.allocsOp }),
+	}
+}
+
+// writeText renders the benchstat-style table.
+func writeText(w *os.File, doc Doc) {
+	fmt.Fprintf(w, "%-36s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	for _, e := range doc.Entries {
+		speed := "n/a"
+		if e.Speedup > 0 {
+			speed = fmt.Sprintf("%.2fx", e.Speedup)
+		}
+		fmt.Fprintf(w, "%-36s %14.0f %14.0f %8s %12.0f %12.0f\n",
+			strings.TrimPrefix(e.Name, "Benchmark"),
+			e.OldNsOp, e.NewNsOp, speed, e.OldAllocsOp, e.NewAllocsOp)
+	}
+}
