@@ -13,6 +13,11 @@
 //	                 (default GOMAXPROCS; output is identical for any n)
 //	-format   name   output format: text | json | csv (default text)
 //	-config   file   JSON machine config overriding -machine
+//	-simpoint n      also estimate IPC by SimPoint sampling: slice the
+//	                 trace into n-instruction intervals, cluster them,
+//	                 simulate one representative per cluster (with one
+//	                 interval of warmup) and report the weighted IPC
+//	                 next to the full-run IPC (0 = off)
 //	-savetrace file  capture the workload trace to a file and exit
 //	-loadtrace file  replay a previously saved trace
 //	-tracejson file  write a Chrome trace-event file of the pipeline
@@ -49,6 +54,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/simpoint"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -81,6 +87,7 @@ func run() int {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		inject     = flag.String("inject", "", "fault to inject: \"livelock\" stalls the Fg-STP inter-core channel")
+		simpointN  = flag.Int("simpoint", 0, "SimPoint interval size in instructions (0 = no sampled estimate)")
 	)
 	flag.Parse()
 
@@ -208,6 +215,26 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "fgstpsim: pipeline trace (%s mode) written to %s\n", traced, *traceJSON)
 	}
 
+	if *simpointN > 0 {
+		// The sampled estimate validates the SimPoint methodology against
+		// the full run just computed: same trace, same modes, a fraction
+		// of the simulated instructions. Estimates go to the banner stream
+		// so json/csv stdout stays parseable.
+		for i, md := range modes {
+			if errs[i] != nil {
+				continue
+			}
+			ipc, points, err := simpointIPC(m, md, tr, *simpointN)
+			if err != nil {
+				fmt.Fprintf(banner, "simpoint [%s] FAILED: %v\n", md, err)
+				continue
+			}
+			full := runs[i].IPC()
+			fmt.Fprintf(banner, "simpoint [%s] interval %d, %d points: weighted IPC %.3f vs full %.3f (%+.1f%%)\n",
+				md, *simpointN, points, ipc, full, (ipc/full-1)*100)
+		}
+	}
+
 	failed := 0
 	for i := range errs {
 		if errs[i] != nil {
@@ -234,6 +261,36 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// simpointK caps the number of SimPoint clusters (and hence simulated
+// representatives); Choose clamps it to the interval count.
+const simpointK = 8
+
+// simpointIPC estimates the full trace's IPC for one mode from
+// SimPoint representatives: interval-sized slices chosen by clustering
+// execution signatures, each simulated with one interval of warmup and
+// weighted by its cluster's population.
+func simpointIPC(m config.Machine, md cmp.Mode, tr *trace.Trace, interval int) (float64, int, error) {
+	reps, err := simpoint.Choose(tr, interval, simpointK)
+	if err != nil {
+		return 0, 0, err
+	}
+	cpi, err := simpoint.EstimateCPI(reps, interval, interval, tr.Len(),
+		func(start, end int) (uint64, uint64, error) {
+			r, err := cmp.Run(m, md, tr.Slice(start, end))
+			if err != nil {
+				return 0, 0, err
+			}
+			return r.Cycles, r.Insts, nil
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	if cpi <= 0 {
+		return 0, 0, fmt.Errorf("simpoint: non-positive CPI %g", cpi)
+	}
+	return 1 / cpi, len(reps), nil
 }
 
 // writeChromeTrace records one instrumented run of md and writes the

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/workloads"
+)
+
+// The -simpoint estimate must be a sane IPC: positive, finite, and in
+// the neighbourhood of the full-run IPC (SimPoint sampling error on a
+// short trace is real, so the band is loose — this is a smoke test of
+// the wiring, not of the methodology, which internal/simpoint tests).
+func TestSimpointIPCSmoke(t *testing.T) {
+	w, ok := workloads.ByName("gcc")
+	if !ok {
+		t.Fatal("unknown workload gcc")
+	}
+	tr := w.Trace(20_000)
+	m, err := config.ByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cmp.Run(m, cmp.ModeFgSTP, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc, points, err := simpointIPC(m, cmp.ModeFgSTP, tr, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points < 1 {
+		t.Fatalf("no representatives chosen")
+	}
+	if !(ipc > 0) || math.IsInf(ipc, 0) {
+		t.Fatalf("implausible weighted IPC %g", ipc)
+	}
+	fullIPC := full.IPC()
+	if ipc < fullIPC/3 || ipc > fullIPC*3 {
+		t.Errorf("weighted IPC %.3f far from full-run IPC %.3f", ipc, fullIPC)
+	}
+}

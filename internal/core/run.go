@@ -92,22 +92,50 @@ func RunInstrumented(cfg config.Machine, tr *trace.Trace, f Faults, sink metrics
 }
 
 // Drain cycles the machine until the whole trace has committed and
-// returns the cycle count. A livelocked run — no commit progress for
-// ooo.LivelockWindow cycles, or the absolute per-instruction cycle
+// returns the cycle count, jumping the clock over dead spans via
+// NextEvent/SkipTo (see skip.go). A livelocked run — no commit progress
+// for ooo.LivelockWindow cycles, or the absolute per-instruction cycle
 // limit exceeded — returns a *LivelockError snapshot instead of
-// spinning forever.
+// spinning forever; the snapshot is taken at exactly the cycle a ticked
+// run would have fired at, because skips are clamped to the watchdog
+// bounds.
 func (m *Machine) Drain() (int64, error) {
+	return m.drain(true)
+}
+
+// DrainTicked is Drain without event-driven skipping: every cycle is
+// simulated individually. It exists for the skip-vs-tick differential
+// tests; both paths must produce identical summaries and cycle counts.
+func (m *Machine) DrainTicked() (int64, error) {
+	return m.drain(false)
+}
+
+func (m *Machine) drain(skip bool) (int64, error) {
 	limit := int64(m.tr.Len()+1000) * maxCyclesPerInst
 	var now, lastProgress int64
 	lastCommit := m.nextCommit
-	for ; !m.Done(); now++ {
+	for !m.Done() {
 		if m.nextCommit != lastCommit {
 			lastCommit, lastProgress = m.nextCommit, now
 		}
 		if now-lastProgress > ooo.LivelockWindow || now > limit {
 			return now, m.livelockSnapshot(now, now-lastProgress)
 		}
+		if skip {
+			if next := m.NextEvent(now); next > now {
+				if w := lastProgress + ooo.LivelockWindow + 1; next > w {
+					next = w
+				}
+				if next > limit+1 {
+					next = limit + 1
+				}
+				m.SkipTo(now, next)
+				now = next
+				continue
+			}
+		}
 		m.Cycle(now)
+		now++
 	}
 	return now, nil
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faults"
+	"repro/internal/ooo"
+)
+
+// runJSON drains a fresh machine (skipping or ticked) and returns its
+// full summary serialised — cycle count, every metric, every per-core
+// CPI-stack bucket — so the comparison covers everything Summarize
+// exports.
+func runJSON(t *testing.T, cfg config.Machine, trName string, insts uint64, ticked bool) string {
+	t.Helper()
+	tr := wkTrace(t, trName, insts)
+	m := mustMachine(t, cfg, tr)
+	var cycles int64
+	var err error
+	if ticked {
+		cycles, err = m.DrainTicked()
+	} else {
+		cycles, err = m.Drain()
+	}
+	if err != nil {
+		t.Fatalf("%s/%s ticked=%v: %v", cfg.Name, trName, ticked, err)
+	}
+	b, err := json.Marshal(m.Summarize(cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The machine-level skip engine is byte-exact against the ticked
+// machine across presets, load-wait policies and workloads: identical
+// serialised summaries (cycles, channel stats, sequencer stalls, both
+// cores' reports).
+func TestMachineSkipVsTickDifferential(t *testing.T) {
+	storeSets := config.Medium()
+	storeSets.Name = "medium-storesets"
+	storeSets.FgSTP.UseStoreSets = true
+	noSpec := config.Small()
+	noSpec.Name = "small-nospec"
+	noSpec.FgSTP.DepSpeculation = false
+	cfgs := []config.Machine{config.Small(), config.Medium(), storeSets, noSpec}
+	wls := []string{"gcc", "mcf", "milc", "hmmer"}
+	for _, cfg := range cfgs {
+		for _, wl := range wls {
+			skip := runJSON(t, cfg, wl, 6_000, false)
+			tick := runJSON(t, cfg, wl, 6_000, true)
+			if skip != tick {
+				t.Errorf("%s/%s: skip and tick summaries diverge\n skip: %s\n tick: %s",
+					cfg.Name, wl, skip, tick)
+			}
+		}
+	}
+}
+
+// A permanently-stalled inter-core channel must still trip the livelock
+// watchdog under the skipping drain, with the same forensic snapshot a
+// ticked run produces: an installed fault injector defeats the event
+// estimates, so the machine never skips past the stall and the
+// Cycles/SinceCommit the watchdog reports stay wall-exact.
+func TestWatchdogUnderSkip(t *testing.T) {
+	tr := wkTrace(t, "gcc", 4_000)
+	snap := func(ticked bool) *LivelockError {
+		m := mustMachine(t, config.Medium(), tr)
+		m.SetFaults(faults.ChannelStall(200))
+		var err error
+		if ticked {
+			_, err = m.DrainTicked()
+		} else {
+			_, err = m.Drain()
+		}
+		if err == nil {
+			t.Fatal("stalled channel drained cleanly; watchdog did not fire")
+		}
+		if !errors.Is(err, ooo.ErrLivelock) {
+			t.Fatalf("watchdog error does not wrap ErrLivelock: %v", err)
+		}
+		var le *LivelockError
+		if !errors.As(err, &le) {
+			t.Fatalf("no LivelockError in %v", err)
+		}
+		return le
+	}
+	s, k := snap(false), snap(true)
+	if s.Cycles != k.Cycles || s.SinceCommit != k.SinceCommit {
+		t.Errorf("watchdog wall clock diverges: skip fired at cycle %d (%d since commit), tick at %d (%d)",
+			s.Cycles, s.SinceCommit, k.Cycles, k.SinceCommit)
+	}
+	if *s != *k {
+		t.Errorf("watchdog snapshots diverge:\n skip: %+v\n tick: %+v", *s, *k)
+	}
+	if s.SinceCommit <= ooo.LivelockWindow-1 {
+		t.Errorf("implausible SinceCommit %d for a permanent stall", s.SinceCommit)
+	}
+}
+
+// With no faults installed, a machine whose channel never stalls still
+// reaches the watchdog exactly when a ticked run does if it genuinely
+// livelocks — here forced by clamping the skip at the watchdog bound on
+// a healthy machine mid-run is unobservable: the healthy run completes
+// with skipping and ticking at the same cycle. (Covers the clamp paths
+// in drain.)
+func TestMachineSkipCompletesHealthy(t *testing.T) {
+	tr := wkTrace(t, "sjeng", 5_000)
+	ms := mustMachine(t, config.Small(), tr)
+	mt := mustMachine(t, config.Small(), tr)
+	cs := mustDrainM(t, ms)
+	ct, err := mt.DrainTicked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != ct {
+		t.Errorf("healthy run cycle counts diverge: skip=%d tick=%d", cs, ct)
+	}
+}

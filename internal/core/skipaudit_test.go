@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/ooo"
+)
+
+// machineSig is the observable machine state the skip engine must not
+// let change across a claimed-dead cycle. Per-cycle bookkeeping that
+// SkipTo replays in bulk (cycle counts, CPI-stack attribution, stall
+// counters) is zeroed out; everything else — committed/fetched/issued
+// work, sequencer position, channel grants, commit frontier — must be
+// frozen.
+type machineSig struct {
+	rpt        [2]ooo.Report
+	pos        uint64
+	delivered  uint64
+	nextCommit uint64
+	transfers  [2]uint64
+	blocked    bool
+	stallUntil int64
+}
+
+func sigOf(m *Machine) machineSig {
+	s := machineSig{
+		pos:        m.seq.pos,
+		delivered:  m.seq.Delivered,
+		nextCommit: m.nextCommit,
+		blocked:    m.seq.blocked,
+		stallUntil: m.seq.stallUntil,
+	}
+	for i := 0; i < 2; i++ {
+		s.rpt[i] = m.cores[i].Report()
+		s.rpt[i].Cycles = 0
+		s.rpt[i].CyclesActive = 0
+		s.rpt[i].CyclesFetchStarved = 0
+		s.rpt[i].CyclesIssueWait = 0
+		s.rpt[i].CyclesChannelWait = 0
+		s.rpt[i].CyclesExecute = 0
+		s.rpt[i].CyclesCommitBlocked = 0
+		s.rpt[i].FetchStallBranch = 0
+		s.rpt[i].FetchStallICache = 0
+		s.rpt[i].FetchStallROB = 0
+		s.rpt[i].FetchStallIQ = 0
+		s.rpt[i].FetchStallLSQ = 0
+		s.rpt[i].FetchStallCopy = 0
+		s.transfers[i] = m.chans[i].Transfers
+	}
+	return s
+}
+
+// TestSkipClaimedDeadCycles audits NextEvent's dead-cycle claims
+// directly: tick every cycle, and wherever NextEvent said the cycle
+// was dead, require the ticked cycle to have changed nothing
+// observable. Sharper than the end-to-end differential — it pins the
+// *first* wrongly-skipped cycle with its exact state delta instead of
+// a diverged final summary. (This is the probe that caught the stale
+// external-readiness estimate: a claimed-dead cycle whose only delta
+// was a channel grant, because the remote producer had issued since
+// the estimate was cached.)
+func TestSkipClaimedDeadCycles(t *testing.T) {
+	for _, wl := range []string{"gcc", "mcf"} {
+		tr := wkTrace(t, wl, 6_000)
+		m := mustMachine(t, config.Small(), tr)
+		var now int64
+		bad := 0
+		for !m.Done() && now < 100_000 {
+			next := m.NextEvent(now)
+			var before machineSig
+			claimedDead := next > now
+			if claimedDead {
+				before = sigOf(m)
+			}
+			m.Cycle(now)
+			if claimedDead {
+				if after := sigOf(m); before != after {
+					t.Errorf("%s: cycle %d claimed dead (next=%d) but changed state:\n before: %+v\n after:  %+v",
+						wl, now, next, before, after)
+					if bad++; bad > 3 {
+						t.Fatal("too many divergences")
+					}
+				}
+			}
+			now++
+		}
+	}
+}

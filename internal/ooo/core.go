@@ -575,41 +575,24 @@ func (c *Core) dispatch(now int64) {
 		if u.dispatchReady > now {
 			return
 		}
-		if c.rob.len() >= c.cfg.ROBSize {
+		var verdict dispatchVerdict
+		verdict, budget = c.dispatchGate(u, budget)
+		switch verdict {
+		case stallROB:
 			c.rpt.FetchStallROB++
+			return
+		case stallLSQ:
+			c.rpt.FetchStallLSQ++
+			return
+		case stallIQ:
+			c.rpt.FetchStallIQ++
+			return
+		case stallCopy:
+			c.rpt.FetchStallCopy++
 			return
 		}
 		d := u.DI()
-		if d.IsLoad() && c.lq.len() >= c.cfg.LQSize {
-			c.rpt.FetchStallLSQ++
-			return
-		}
-		if d.IsStore() && c.sq.len() >= c.cfg.SQSize {
-			c.rpt.FetchStallLSQ++
-			return
-		}
-		cluster := c.pickCluster(u)
-		if c.iqCount[cluster] >= c.cfg.IQSize {
-			c.rpt.FetchStallIQ++
-			return
-		}
-		u.Cluster = cluster
-
-		c.resolveDeps(u)
-
-		// Cross-cluster operands need SMU-inserted copy instructions,
-		// each consuming a front-end slot (Core Fusion).
-		if c.cfg.Clusters > 1 {
-			for i := 0; i < u.nsrc; i++ {
-				if p := u.prods[i]; p != nil && p.Cluster != cluster {
-					budget--
-				}
-			}
-			if budget < 0 {
-				c.rpt.FetchStallCopy++
-				return
-			}
-		}
+		cluster := u.Cluster
 		c.fetchq.popFront()
 		c.rob.pushBack(u)
 		if idx := u.Item.GSeq & c.wmask; c.wtab[idx] == nil {
@@ -639,6 +622,59 @@ func (c *Core) dispatch(now int64) {
 			c.rat[d.Dst] = u
 		}
 	}
+}
+
+// dispatchVerdict classifies the dispatch stage's decision about the
+// fetch-queue head: dispatch it, or which structural limit blocks it.
+type dispatchVerdict uint8
+
+const (
+	dispatchOK dispatchVerdict = iota
+	stallROB
+	stallLSQ
+	stallIQ
+	stallCopy
+)
+
+// dispatchGate runs the dispatch stage's admission checks for u against
+// the remaining front-end budget, returning the verdict and the budget
+// after cross-cluster copy slots. On a stall verdict the pipeline state
+// is exactly what the inline checks used to leave behind (the cluster
+// pick and dependence resolution happen — idempotently — before the
+// copy-budget check, as they always did); NextEvent and SkipTo reuse it
+// so the event scan and the ticked stage can never disagree.
+func (c *Core) dispatchGate(u *UOp, budget int) (dispatchVerdict, int) {
+	if c.rob.len() >= c.cfg.ROBSize {
+		return stallROB, budget
+	}
+	d := u.DI()
+	if d.IsLoad() && c.lq.len() >= c.cfg.LQSize {
+		return stallLSQ, budget
+	}
+	if d.IsStore() && c.sq.len() >= c.cfg.SQSize {
+		return stallLSQ, budget
+	}
+	cluster := c.pickCluster(u)
+	if c.iqCount[cluster] >= c.cfg.IQSize {
+		return stallIQ, budget
+	}
+	u.Cluster = cluster
+
+	c.resolveDeps(u)
+
+	// Cross-cluster operands need SMU-inserted copy instructions,
+	// each consuming a front-end slot (Core Fusion).
+	if c.cfg.Clusters > 1 {
+		for i := 0; i < u.nsrc; i++ {
+			if p := u.prods[i]; p != nil && p.Cluster != cluster {
+				budget--
+			}
+		}
+		if budget < 0 {
+			return stallCopy, budget
+		}
+	}
+	return dispatchOK, budget
 }
 
 // resolveDeps fills u's dataflow from either the steering unit's
@@ -984,7 +1020,7 @@ func (c *Core) operandsReady(u *UOp, now int64) bool {
 // reads the producer's schedule.
 func (c *Core) srcReady(u *UOp, i int, now int64) bool {
 	if u.ext[i] {
-		if c.hooks.ExtReadyAt(u, i, now) > now {
+		if t := c.hooks.ExtReadyAt(u, i, now); t > now {
 			u.extWaitAt = now
 			// External delivery estimates are not binding (fault
 			// injection can defer them): re-poll every cycle.

@@ -84,14 +84,27 @@ func RunTraceInstrumented(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace,
 }
 
 // Drain cycles the core until it is done and returns the final cycle
-// count. A livelocked simulation — no commit for LivelockWindow cycles,
-// or the absolute per-instruction cycle limit exceeded — returns a
-// *LivelockError wrapping ErrLivelock instead of spinning forever.
+// count, jumping the clock over dead spans via NextEvent/SkipTo (see
+// skip.go). A livelocked simulation — no commit for LivelockWindow
+// cycles, or the absolute per-instruction cycle limit exceeded —
+// returns a *LivelockError wrapping ErrLivelock instead of spinning
+// forever.
 func Drain(core *Core, traceLen int) (int64, error) {
+	return drain(core, traceLen, true)
+}
+
+// DrainTicked is Drain without event-driven skipping: every cycle is
+// simulated individually. It exists for the skip-vs-tick differential
+// tests; both paths must produce identical reports and cycle counts.
+func DrainTicked(core *Core, traceLen int) (int64, error) {
+	return drain(core, traceLen, false)
+}
+
+func drain(core *Core, traceLen int, skip bool) (int64, error) {
 	limit := int64(traceLen+1000) * maxCyclesPerInst
 	var now, lastProgress int64
 	lastCommitted := core.Committed()
-	for ; !core.Done(); now++ {
+	for !core.Done() {
 		if c := core.Committed(); c != lastCommitted {
 			lastCommitted, lastProgress = c, now
 		}
@@ -105,7 +118,23 @@ func Drain(core *Core, traceLen int) (int64, error) {
 				InFlight:    core.InFlight(),
 			}
 		}
+		if skip {
+			if next := core.NextEvent(now, nil); next > now {
+				// Clamp so the watchdog fires at exactly the cycle a
+				// ticked run would have reached before tripping.
+				if w := lastProgress + LivelockWindow + 1; next > w {
+					next = w
+				}
+				if next > limit+1 {
+					next = limit + 1
+				}
+				core.SkipTo(now, next)
+				now = next
+				continue
+			}
+		}
 		core.Cycle(now)
+		now++
 	}
 	return now, nil
 }

@@ -7,11 +7,14 @@
 //
 //	benchdiff [-format text|json] old.txt new.txt
 //
-// Each input is the raw output of `go test -bench . -benchmem
-// -count=N`; repeated counts of the same benchmark are aggregated by
-// median (robust to a noisy neighbour in CI). Benchmarks present in
-// only one file are reported without a delta. The JSON form is the
-// schema committed as BENCH_pr4.json.
+// Each input is either the raw output of `go test -bench . -benchmem
+// -count=N` — repeated counts of the same benchmark are aggregated by
+// median (robust to a noisy neighbour in CI) — or a committed
+// BENCH_*.json record (detected by the .json suffix), whose "new"
+// columns stand in as that side's samples; CI uses this to diff a
+// fresh recording against the newest committed record. Benchmarks
+// present in only one input are reported without a delta. The JSON
+// form is the schema committed as the BENCH_*.json files.
 package main
 
 import (
@@ -63,11 +66,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-format text|json] old.txt new.txt")
 		os.Exit(2)
 	}
-	old, err := parseFile(flag.Arg(0))
+	old, err := parseInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := parseFile(flag.Arg(1))
+	cur, err := parseInput(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
@@ -121,6 +124,45 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchdiff:", err)
 	os.Exit(2)
+}
+
+// parseInput loads one comparison side: a committed BENCH_*.json
+// record (its "new" columns are the samples) or a raw benchmark
+// output file.
+func parseInput(path string) (map[string][]sample, error) {
+	if strings.HasSuffix(path, ".json") {
+		return parseRecord(path)
+	}
+	return parseFile(path)
+}
+
+// parseRecord loads a committed benchdiff JSON document and exposes
+// its new-side medians as one sample per benchmark.
+func parseRecord(path string) (map[string][]sample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := map[string][]sample{}
+	for _, e := range doc.Entries {
+		if e.NewNsOp <= 0 {
+			continue
+		}
+		out[e.Name] = []sample{{
+			nsOp:     e.NewNsOp,
+			bytesOp:  e.NewBytesOp,
+			allocsOp: e.NewAllocsOp,
+			hasMem:   e.NewBytesOp > 0 || e.NewAllocsOp > 0,
+		}}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no usable benchmark entries", path)
+	}
+	return out, nil
 }
 
 // parseFile collects the samples of every benchmark in one output file.
