@@ -29,6 +29,10 @@
 //	-list            list workloads and exit
 //	-inject  fault   inject a fault: "livelock" stalls the Fg-STP
 //	                 inter-core channel from cycle 0
+//	-hotblock        hot-block timing memoization (default on; output is
+//	                 byte-identical on or off — disable to time the
+//	                 plain engine). Replay telemetry (templates, replays,
+//	                 replayed-cycle coverage) prints to stderr.
 //
 // A failed mode renders as a FAILED line; the other modes still
 // report. Exit codes:
@@ -52,6 +56,7 @@ import (
 	"repro/internal/cmp"
 	"repro/internal/config"
 	"repro/internal/faults"
+	"repro/internal/hotblock"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/simpoint"
@@ -88,8 +93,10 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		inject     = flag.String("inject", "", "fault to inject: \"livelock\" stalls the Fg-STP inter-core channel")
 		simpointN  = flag.Int("simpoint", 0, "SimPoint interval size in instructions (0 = no sampled estimate)")
+		hotBlock   = flag.Bool("hotblock", true, "hot-block timing memoization (output is byte-identical on or off)")
 	)
 	flag.Parse()
+	hotblock.SetDefaultDisabled(!*hotBlock)
 
 	if *list {
 		listWorkloads()
@@ -196,8 +203,9 @@ func run() int {
 	// submission order, so the report reads identically for any -jobs.
 	// A failed mode reports FAILED without aborting its siblings.
 	jl := make([]sched.Job, len(modes))
+	hbCtrs := make([]hotblock.Counters, len(modes))
 	for i, md := range modes {
-		jl[i] = sched.Job{Machine: m, Mode: md, Trace: tr, Tag: string(md)}
+		jl[i] = sched.Job{Machine: m, Mode: md, Trace: tr, Tag: string(md), HotBlock: &hbCtrs[i]}
 		if *inject == "livelock" && md == cmp.ModeFgSTP {
 			jl[i].Faults = faults.ChannelStall(0)
 		}
@@ -252,6 +260,9 @@ func run() int {
 		}
 	default:
 		printText(modes, runs, errs)
+	}
+	if *hotBlock {
+		printHotBlockFooter(hbCtrs, modes, runs, errs)
 	}
 	if rss, ok := metrics.PeakRSS(); ok {
 		fmt.Fprintf(os.Stderr, "fgstpsim: peak RSS %.1f MiB\n", float64(rss)/(1<<20))
@@ -311,6 +322,34 @@ func writeChromeTrace(path string, m config.Machine, md cmp.Mode, tr *trace.Trac
 		"mode":     string(md),
 	}
 	return metrics.WriteChromeTraceRecorder(f, rec, meta)
+}
+
+// printHotBlockFooter aggregates the per-mode replay telemetry into a
+// metrics registry under the hotblock_* export names and reports replay
+// coverage on stderr — the side channel keeps the stdout report
+// byte-identical with memoization on or off. The fgstp mode never
+// replays (its coordinated cores are ineligible), so its counters
+// contribute zeros.
+func printHotBlockFooter(ctrs []hotblock.Counters, modes []cmp.Mode, runs []stats.Run, errs []error) {
+	var agg hotblock.Counters
+	var cycles uint64
+	for i := range ctrs {
+		agg.Merge(ctrs[i])
+		if errs[i] == nil {
+			cycles += runs[i].Cycles
+		}
+	}
+	reg := metrics.NewRegistry()
+	agg.AddTo(reg)
+	cov := 0.0
+	if cycles > 0 {
+		cov = 100 * float64(agg.ReplayedCycles) / float64(cycles)
+	}
+	fmt.Fprintf(os.Stderr, "fgstpsim: hotblock replay coverage %.1f%% (%d of %d cycles, %d replays of %d templates)\n",
+		cov, agg.ReplayedCycles, cycles, agg.Replays, agg.Templates)
+	for _, s := range reg.Sorted() {
+		fmt.Fprintf(os.Stderr, "fgstpsim:   %-32s %.0f\n", s.Name, s.Value)
+	}
 }
 
 func printText(modes []cmp.Mode, runs []stats.Run, errs []error) {

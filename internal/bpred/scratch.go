@@ -1,0 +1,208 @@
+package bpred
+
+// Scratch is a side-effect-free overlay simulator for a Predictor: it
+// answers "would this exact observation sequence predict correctly?"
+// without mutating the predictor. The hot-block replay engine uses it
+// as a precondition check — a timing template captured under an
+// all-correct prediction span is only replayable if the span's
+// observation sequence would again be all-correct — and then applies
+// the real Observe* calls in bulk, which are guaranteed to take the
+// very same paths the overlay just walked.
+//
+// Reads fall through to the underlying predictor's tables; writes land
+// in overlay maps keyed by table index, so repeated queries within one
+// simulated span see their own training exactly as the real predictor
+// would. Every Try* method mirrors its Observe* counterpart statement
+// for statement (including chooser train-on-disagreement, history
+// shifting, BTB LRU touch ordering and RAS circularity); divergence
+// here would let a template replay under a precondition the real
+// predictor disagrees with, which the replay engine treats as a
+// simulator bug (it panics).
+type Scratch struct {
+	p *Predictor
+
+	bimodal map[int32]counter
+	gshare  map[int32]counter
+	chooser map[int32]counter
+	history uint64
+
+	btbWays map[int32]scratchWay
+
+	rasStack []uint64
+	rasTop   int
+	rasDepth int
+}
+
+// scratchWay shadows one BTB way.
+type scratchWay struct {
+	tag   uint64
+	tgt   uint64
+	valid bool
+	lru   uint8
+}
+
+// NewScratch returns an empty overlay; call Reset before use.
+func NewScratch() *Scratch {
+	return &Scratch{
+		bimodal: make(map[int32]counter),
+		gshare:  make(map[int32]counter),
+		chooser: make(map[int32]counter),
+		btbWays: make(map[int32]scratchWay),
+	}
+}
+
+// Reset points the overlay at p and discards all shadowed state, so the
+// next Try* sequence starts from p's current tables.
+func (s *Scratch) Reset(p *Predictor) {
+	s.p = p
+	clear(s.bimodal)
+	clear(s.gshare)
+	clear(s.chooser)
+	clear(s.btbWays)
+	s.history = p.history
+	if cap(s.rasStack) < len(p.ras.stack) {
+		s.rasStack = make([]uint64, len(p.ras.stack))
+	}
+	s.rasStack = s.rasStack[:len(p.ras.stack)]
+	copy(s.rasStack, p.ras.stack)
+	s.rasTop = p.ras.top
+	s.rasDepth = p.ras.depth
+}
+
+func (s *Scratch) ctr(ov map[int32]counter, base []counter, i int) counter {
+	if v, ok := ov[int32(i)]; ok {
+		return v
+	}
+	return base[i]
+}
+
+func (s *Scratch) gshareIndex(pc uint64) int {
+	p := s.p
+	return int(((pc >> 2) ^ (s.history & p.histMsk)) & uint64(len(p.gshare)-1))
+}
+
+// TryBranch mirrors Predictor.ObserveBranch on the overlay and reports
+// whether the prediction would be correct.
+func (s *Scratch) TryBranch(pc uint64, taken bool) bool {
+	p := s.p
+	bi := p.index(pc)
+	bimodalPred := s.ctr(s.bimodal, p.bimodal, bi).taken()
+	var gsharePred bool
+	var gi int
+	if p.gshare != nil {
+		gi = s.gshareIndex(pc)
+		gsharePred = s.ctr(s.gshare, p.gshare, gi).taken()
+	}
+
+	var pred bool
+	switch p.cfg.Kind {
+	case "bimodal":
+		pred = bimodalPred
+	case "gshare":
+		pred = gsharePred
+	default:
+		if s.ctr(s.chooser, p.chooser, bi).taken() {
+			pred = gsharePred
+		} else {
+			pred = bimodalPred
+		}
+		if bimodalPred != gsharePred {
+			s.chooser[int32(bi)] = s.ctr(s.chooser, p.chooser, bi).update(gsharePred == taken)
+		}
+	}
+
+	s.bimodal[int32(bi)] = s.ctr(s.bimodal, p.bimodal, bi).update(taken)
+	if p.gshare != nil {
+		s.gshare[int32(gi)] = s.ctr(s.gshare, p.gshare, gi).update(taken)
+		s.history = (s.history << 1) | b2u(taken)
+	}
+	return pred == taken
+}
+
+func (s *Scratch) way(i int) scratchWay {
+	if w, ok := s.btbWays[int32(i)]; ok {
+		return w
+	}
+	b := s.p.btb
+	return scratchWay{tag: b.tags[i], tgt: b.tgts[i], valid: b.valid[i], lru: b.lru[i]}
+}
+
+// btbTouch mirrors btb.touch on the overlay.
+func (s *Scratch) btbTouch(base, w int) {
+	b := s.p.btb
+	for k := 0; k < b.assoc; k++ {
+		e := s.way(base + k)
+		if e.lru < 255 {
+			e.lru++
+		}
+		s.btbWays[int32(base+k)] = e
+	}
+	e := s.way(base + w)
+	e.lru = 0
+	s.btbWays[int32(base+w)] = e
+}
+
+func (s *Scratch) btbLookup(pc uint64) (uint64, bool) {
+	b := s.p.btb
+	base := b.set(pc) * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		e := s.way(base + w)
+		if e.valid && e.tag == pc {
+			s.btbTouch(base, w)
+			return e.tgt, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Scratch) btbInsert(pc, target uint64) {
+	b := s.p.btb
+	base := b.set(pc) * b.assoc
+	victim := 0
+	for w := 0; w < b.assoc; w++ {
+		e := s.way(base + w)
+		if e.valid && e.tag == pc {
+			e.tgt = target
+			s.btbWays[int32(base+w)] = e
+			s.btbTouch(base, w)
+			return
+		}
+		if !e.valid {
+			victim = w
+			break
+		}
+		if e.lru > s.way(base+victim).lru {
+			victim = w
+		}
+	}
+	e := s.way(base + victim)
+	e.tag, e.tgt, e.valid = pc, target, true
+	s.btbWays[int32(base+victim)] = e
+	s.btbTouch(base, victim)
+}
+
+// TryIndirect mirrors Predictor.ObserveIndirect on the overlay.
+func (s *Scratch) TryIndirect(pc, target uint64) bool {
+	pred, ok := s.btbLookup(pc)
+	s.btbInsert(pc, target)
+	return ok && pred == target
+}
+
+// TryCall mirrors Predictor.ObserveCall on the overlay.
+func (s *Scratch) TryCall(retAddr uint64) {
+	s.rasStack[s.rasTop] = retAddr
+	s.rasTop = (s.rasTop + 1) % len(s.rasStack)
+	if s.rasDepth < len(s.rasStack) {
+		s.rasDepth++
+	}
+}
+
+// TryReturn mirrors Predictor.ObserveReturn on the overlay.
+func (s *Scratch) TryReturn(target uint64) bool {
+	if s.rasDepth == 0 {
+		return false
+	}
+	s.rasTop = (s.rasTop - 1 + len(s.rasStack)) % len(s.rasStack)
+	s.rasDepth--
+	return s.rasStack[s.rasTop] == target
+}

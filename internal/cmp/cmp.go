@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/corefusion"
+	"repro/internal/hotblock"
 	"repro/internal/metrics"
 	"repro/internal/ooo"
 	"repro/internal/stats"
@@ -56,25 +57,51 @@ var ErrLivelock = ooo.ErrLivelock
 // only apply to ModeFgSTP — the other modes have no inter-core channel.
 type Faults = core.Faults
 
+// Options bundles the optional knobs of a run: fault injection, event
+// instrumentation, and hot-block memoization. The zero value reproduces
+// Run.
+type Options struct {
+	// Faults optionally injects deterministic faults into the run; only
+	// ModeFgSTP has an inter-core channel to stall.
+	Faults Faults
+	// Sink receives pipeline events from the machine under test;
+	// attaching one disables hot-block replay (replayed spans emit no
+	// per-uop events).
+	Sink metrics.Sink
+	// DisableHotBlock forces the plain engine for this run regardless of
+	// the process-wide default (hotblock.SetDefaultDisabled). Memoization
+	// engages in the single and corefusion modes; the Fg-STP pair's
+	// coordinated cores decline it (see core.RunOptions).
+	DisableHotBlock bool
+	// HotBlockConfig overrides the memoization knobs; nil means defaults.
+	HotBlockConfig *hotblock.Config
+	// HotBlock, when non-nil, receives the run's replay telemetry. The
+	// telemetry never enters the stats.Run summary: experiment output is
+	// byte-identical with memoization on and off.
+	HotBlock *hotblock.Counters
+}
+
 // Run simulates tr on machine m in the given mode.
 func Run(m config.Machine, mode Mode, tr *trace.Trace) (stats.Run, error) {
-	return RunFaulty(m, mode, tr, nil)
+	return RunOpts(m, mode, tr, Options{})
 }
 
 // RunFaulty simulates like Run with a fault injector installed (nil
 // behaves exactly like Run).
 func RunFaulty(m config.Machine, mode Mode, tr *trace.Trace, f Faults) (stats.Run, error) {
-	return runWith(m, mode, tr, f, nil)
+	return RunOpts(m, mode, tr, Options{Faults: f})
 }
 
 // RunTraced simulates like Run with a pipeline event sink attached to
 // the machine under test (nil behaves exactly like Run); the events
 // render into a Chrome trace via metrics.WriteChromeTrace.
 func RunTraced(m config.Machine, mode Mode, tr *trace.Trace, sink metrics.Sink) (stats.Run, error) {
-	return runWith(m, mode, tr, nil, sink)
+	return RunOpts(m, mode, tr, Options{Sink: sink})
 }
 
-func runWith(m config.Machine, mode Mode, tr *trace.Trace, f Faults, sink metrics.Sink) (stats.Run, error) {
+// RunOpts simulates tr on machine m in the given mode under the full
+// option set.
+func RunOpts(m config.Machine, mode Mode, tr *trace.Trace, opts Options) (stats.Run, error) {
 	if err := m.Validate(); err != nil {
 		return stats.Run{}, err
 	}
@@ -83,11 +110,27 @@ func runWith(m config.Machine, mode Mode, tr *trace.Trace, f Faults, sink metric
 	}
 	switch mode {
 	case ModeSingle:
-		return ooo.RunTraceInstrumented(m.Core, m.Hier, tr, sink)
+		return ooo.RunTraceWith(m.Core, m.Hier, tr, ooo.RunOptions{
+			Sink:            opts.Sink,
+			DisableHotBlock: opts.DisableHotBlock,
+			HotBlockConfig:  opts.HotBlockConfig,
+			HotBlock:        opts.HotBlock,
+		})
 	case ModeFusion:
-		return corefusion.RunInstrumented(m, tr, sink)
+		return corefusion.RunWith(m, tr, ooo.RunOptions{
+			Sink:            opts.Sink,
+			DisableHotBlock: opts.DisableHotBlock,
+			HotBlockConfig:  opts.HotBlockConfig,
+			HotBlock:        opts.HotBlock,
+		})
 	case ModeFgSTP:
-		return core.RunInstrumented(m, tr, f, sink)
+		return core.RunWith(m, tr, core.RunOptions{
+			Faults:          opts.Faults,
+			Sink:            opts.Sink,
+			DisableHotBlock: opts.DisableHotBlock,
+			HotBlockConfig:  opts.HotBlockConfig,
+			HotBlock:        opts.HotBlock,
+		})
 	default:
 		return stats.Run{}, fmt.Errorf("unknown mode %q", mode)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/hotblock"
 	"repro/internal/metrics"
 	"repro/internal/ooo"
 	"repro/internal/stats"
@@ -76,13 +77,50 @@ func RunFaulty(cfg config.Machine, tr *trace.Trace, f Faults) (stats.Run, error)
 // RunFaulty); the events render into a Chrome trace via
 // metrics.WriteChromeTrace.
 func RunInstrumented(cfg config.Machine, tr *trace.Trace, f Faults, sink metrics.Sink) (stats.Run, error) {
+	return RunWith(cfg, tr, RunOptions{Faults: f, Sink: sink})
+}
+
+// RunOptions bundles the optional knobs of an Fg-STP run, mirroring
+// ooo.RunOptions so cmp can thread one option set through all three
+// execution modes.
+type RunOptions struct {
+	// Faults optionally injects deterministic faults (nil: none).
+	Faults Faults
+	// Sink receives pipeline events from the machine and both cores.
+	Sink metrics.Sink
+	// Hot-block memoization knobs, accepted for interface uniformity.
+	// The Fg-STP pair never replays: its cores run under cross-core
+	// hooks (steering, the inter-core value channel, sequencer-gated
+	// commit), which make a drain top's future depend on the sibling
+	// core's state — ooo's EnableHotBlock declines such cores, so
+	// HotBlock counters stay zero in this mode. The fields exist so a
+	// future gating-aware template engine (replay only when GateOpenAt
+	// shows the cross-core frontier quiescent) can slot in without an
+	// API change.
+	DisableHotBlock bool
+	HotBlockConfig  *hotblock.Config
+	HotBlock        *hotblock.Counters
+}
+
+// RunWith simulates like Run under the full option set.
+func RunWith(cfg config.Machine, tr *trace.Trace, opts RunOptions) (stats.Run, error) {
 	m, err := NewMachine(cfg, tr)
 	if err != nil {
 		return stats.Run{}, err
 	}
-	m.SetFaults(f)
-	if sink != nil {
-		m.SetEventSink(sink)
+	m.SetFaults(opts.Faults)
+	if opts.Sink != nil {
+		m.SetEventSink(opts.Sink)
+	}
+	if !opts.DisableHotBlock && !hotblock.DefaultDisabled() && opts.Sink == nil {
+		var hcfg hotblock.Config
+		if opts.HotBlockConfig != nil {
+			hcfg = *opts.HotBlockConfig
+		}
+		// Offered to both cores; they decline today (see RunOptions).
+		for _, c := range m.cores {
+			c.EnableHotBlock(hcfg, opts.HotBlock)
+		}
 	}
 	cycles, err := m.Drain()
 	if err != nil {

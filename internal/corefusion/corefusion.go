@@ -62,12 +62,20 @@ func FusedHierarchy(m config.Machine) mem.HierarchyConfig {
 // Run simulates tr to completion on the fused configuration of machine
 // m and returns the run summary.
 func Run(m config.Machine, tr *trace.Trace) (stats.Run, error) {
-	return RunInstrumented(m, tr, nil)
+	return RunWith(m, tr, ooo.RunOptions{})
 }
 
 // RunInstrumented simulates like Run with a pipeline event sink
 // attached to the fused core (nil behaves exactly like Run).
 func RunInstrumented(m config.Machine, tr *trace.Trace, sink metrics.Sink) (stats.Run, error) {
+	return RunWith(m, tr, ooo.RunOptions{Sink: sink})
+}
+
+// RunWith simulates like Run under the full option set: event sink and
+// hot-block memoization knobs. The fused machine is a single ooo.Core
+// with two clusters and no cross-core hooks, so it is replay-eligible
+// exactly like the single-core baseline.
+func RunWith(m config.Machine, tr *trace.Trace, opts ooo.RunOptions) (stats.Run, error) {
 	cfg := FusedConfig(m)
 	hier, err := mem.NewHierarchy(FusedHierarchy(m))
 	if err != nil {
@@ -77,7 +85,8 @@ func RunInstrumented(m config.Machine, tr *trace.Trace, sink metrics.Sink) (stat
 	if err != nil {
 		return stats.Run{}, err
 	}
-	core.SetEventSink(sink, 0)
+	core.SetEventSink(opts.Sink, 0)
+	ooo.ApplyHotBlockOptions(core, opts)
 	cycles, err := ooo.Drain(core, tr.Len())
 	if err != nil {
 		return stats.Run{}, err

@@ -1,0 +1,154 @@
+package hotblock
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestConfigWithDefaults(t *testing.T) {
+	got := Config{}.WithDefaults()
+	want := Config{
+		Threshold:          DefaultThreshold,
+		MinSpanInsts:       DefaultMinSpanInsts,
+		MaxSpanInsts:       DefaultMaxSpanInsts,
+		MaxSpanCycles:      DefaultMaxSpanCycles,
+		MaxCaptureAttempts: DefaultMaxCaptureAttempts,
+		MaxPrecondMisses:   DefaultMaxPrecondMisses,
+	}
+	if got != want {
+		t.Errorf("zero config defaults = %+v, want %+v", got, want)
+	}
+
+	// Explicit values survive.
+	c := Config{Threshold: 3, MinSpanInsts: 10, MaxSpanInsts: 20,
+		MaxSpanCycles: 99, MaxCaptureAttempts: 1, MaxPrecondMisses: 2}
+	if got := c.WithDefaults(); got != c {
+		t.Errorf("explicit config changed by WithDefaults: %+v -> %+v", c, got)
+	}
+
+	// MaxSpanInsts is raised to at least MinSpanInsts, never below.
+	c = Config{MinSpanInsts: 10_000, MaxSpanInsts: 5}.WithDefaults()
+	if c.MaxSpanInsts < c.MinSpanInsts {
+		t.Errorf("MaxSpanInsts %d < MinSpanInsts %d after WithDefaults",
+			c.MaxSpanInsts, c.MinSpanInsts)
+	}
+}
+
+func TestProfileObserveLookup(t *testing.T) {
+	p := NewProfile()
+	if p.Len() != 0 {
+		t.Fatalf("empty profile Len = %d", p.Len())
+	}
+	if b := p.Lookup(0x100); b != nil {
+		t.Fatalf("Lookup on empty profile = %+v, want nil", b)
+	}
+
+	b1 := p.Observe(0x100)
+	if b1.PC != 0x100 || b1.Count != 1 || b1.Status != Cold {
+		t.Fatalf("first Observe = %+v", b1)
+	}
+	// Same PC observed again: same record, incremented count. Interleave
+	// a different PC so the one-entry cache is exercised on both the hit
+	// and the refill path.
+	b2 := p.Observe(0x200)
+	if b2 == b1 {
+		t.Fatal("distinct PCs share a record")
+	}
+	if got := p.Observe(0x100); got != b1 || got.Count != 2 {
+		t.Fatalf("re-Observe = %+v (same record: %v)", got, got == b1)
+	}
+	if got := p.Lookup(0x200); got != b2 {
+		t.Fatalf("Lookup(0x200) = %+v, want the observed record", got)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+}
+
+// TestBlockRevival pins the exponential-backoff revival contract the
+// ooo engine relies on: a block killed during warm-up gets another set
+// of capture attempts once its sighting count doubles, so early noise
+// (compulsory misses, predictor warm-up) cannot permanently disable
+// memoization of a genuinely steady loop.
+func TestBlockRevival(t *testing.T) {
+	p := NewProfile()
+	var b *Block
+	for i := 0; i < 5; i++ {
+		b = p.Observe(0x400)
+	}
+	// The engine's death transition.
+	b.Status = Dead
+	b.Template = nil
+	b.ReviveAt = b.Count * 2
+	if b.ReviveAt != 10 {
+		t.Fatalf("ReviveAt = %d, want 10", b.ReviveAt)
+	}
+	// Sightings 6..9: still below the revival point.
+	for b.Count < b.ReviveAt-1 {
+		p.Observe(0x400)
+		if b.Count >= b.ReviveAt {
+			t.Fatalf("revival point crossed early at count %d", b.Count)
+		}
+	}
+	p.Observe(0x400)
+	if b.Count < b.ReviveAt {
+		t.Fatalf("count %d never reached ReviveAt %d", b.Count, b.ReviveAt)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{Cold: "cold", Hot: "hot", Armed: "armed",
+		Dead: "dead", Status(200): "?"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestCountersMergeAddTo(t *testing.T) {
+	a := Counters{Templates: 1, Replays: 2, ReplayedCycles: 30,
+		ReplayedInsts: 40, InvalidationsSquash: 5, InvalidationsPrecond: 6}
+	b := Counters{Templates: 10, Replays: 20, ReplayedCycles: 300,
+		ReplayedInsts: 400, InvalidationsSquash: 50, InvalidationsPrecond: 60}
+	a.Merge(b)
+	want := Counters{Templates: 11, Replays: 22, ReplayedCycles: 330,
+		ReplayedInsts: 440, InvalidationsSquash: 55, InvalidationsPrecond: 66}
+	if a != want {
+		t.Fatalf("Merge = %+v, want %+v", a, want)
+	}
+
+	reg := metrics.NewRegistry()
+	a.AddTo(reg)
+	checks := map[string]float64{
+		"hotblock_templates":             11,
+		"hotblock_replays":               22,
+		"hotblock_replayed_cycles":       330,
+		"hotblock_replayed_insts":        440,
+		"hotblock_invalidations_squash":  55,
+		"hotblock_invalidations_precond": 66,
+	}
+	for name, want := range checks {
+		if !reg.Has(name) {
+			t.Errorf("registry missing %s", name)
+			continue
+		}
+		if got := reg.Get(name); got != want {
+			t.Errorf("registry %s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestDefaultDisabledSwitch(t *testing.T) {
+	orig := DefaultDisabled()
+	defer SetDefaultDisabled(orig)
+	SetDefaultDisabled(true)
+	if !DefaultDisabled() {
+		t.Fatal("DefaultDisabled() = false after SetDefaultDisabled(true)")
+	}
+	SetDefaultDisabled(false)
+	if DefaultDisabled() {
+		t.Fatal("DefaultDisabled() = true after SetDefaultDisabled(false)")
+	}
+}

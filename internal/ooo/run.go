@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/hotblock"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/stats"
@@ -60,13 +61,35 @@ func (e *LivelockError) Unwrap() error { return ErrLivelock }
 // configuration of every experiment; the fused and Fg-STP modes live in
 // internal/corefusion and internal/core.
 func RunTrace(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace) (stats.Run, error) {
-	return RunTraceInstrumented(cfg, hcfg, tr, nil)
+	return RunTraceWith(cfg, hcfg, tr, RunOptions{})
 }
 
 // RunTraceInstrumented simulates like RunTrace with a pipeline event
 // sink attached to the core (nil behaves exactly like RunTrace); the
 // events render into a Chrome trace via metrics.WriteChromeTrace.
 func RunTraceInstrumented(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace, sink metrics.Sink) (stats.Run, error) {
+	return RunTraceWith(cfg, hcfg, tr, RunOptions{Sink: sink})
+}
+
+// RunOptions bundles the optional knobs of a single-core run. The zero
+// value reproduces RunTrace: no event sink, hot-block memoization on
+// unless the process-wide default disables it.
+type RunOptions struct {
+	// Sink receives pipeline events; attaching one disables hot-block
+	// replay (replayed spans emit no per-uop events).
+	Sink metrics.Sink
+	// DisableHotBlock forces the plain engine for this run regardless of
+	// the process default (hotblock.SetDefaultDisabled).
+	DisableHotBlock bool
+	// HotBlockConfig overrides the memoization knobs; nil means
+	// defaults.
+	HotBlockConfig *hotblock.Config
+	// HotBlock, when non-nil, receives the run's replay telemetry.
+	HotBlock *hotblock.Counters
+}
+
+// RunTraceWith simulates like RunTrace under opts.
+func RunTraceWith(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace, opts RunOptions) (stats.Run, error) {
 	hier, err := mem.NewHierarchy(hcfg)
 	if err != nil {
 		return stats.Run{}, err
@@ -75,12 +98,29 @@ func RunTraceInstrumented(cfg Config, hcfg mem.HierarchyConfig, tr *trace.Trace,
 	if err != nil {
 		return stats.Run{}, err
 	}
-	core.SetEventSink(sink, 0)
+	core.SetEventSink(opts.Sink, 0)
+	ApplyHotBlockOptions(core, opts)
 	now, err := Drain(core, tr.Len())
 	if err != nil {
 		return stats.Run{}, err
 	}
 	return Summarize(core, tr, "single", now), nil
+}
+
+// ApplyHotBlockOptions enables hot-block memoization on core per opts
+// and the process-wide default (hotblock.SetDefaultDisabled). Shared by
+// the single-core and fused-core run paths; Fg-STP cores decline inside
+// EnableHotBlock because their cross-core hooks make drain tops
+// non-local.
+func ApplyHotBlockOptions(core *Core, opts RunOptions) {
+	if opts.DisableHotBlock || hotblock.DefaultDisabled() || opts.Sink != nil {
+		return
+	}
+	var hcfg hotblock.Config
+	if opts.HotBlockConfig != nil {
+		hcfg = *opts.HotBlockConfig
+	}
+	core.EnableHotBlock(hcfg, opts.HotBlock)
 }
 
 // Drain cycles the core until it is done and returns the final cycle
@@ -116,6 +156,21 @@ func drain(core *Core, traceLen int, skip bool) (int64, error) {
 				Committed:   lastCommitted,
 				TraceLen:    traceLen,
 				InFlight:    core.InFlight(),
+			}
+		}
+		if skip && core.hb != nil {
+			// Hot-block detector: profile the fetch frontier and, when an
+			// armed template's preconditions hold, replay the whole span
+			// in bulk. The watchdog bookkeeping mirrors what a ticked run
+			// of the span would leave: the span's last commit at cycle L
+			// makes the ticked top L+1 set lastProgress = L+1, and the
+			// replay's refusal conditions guarantee no intermediate
+			// ticked top could have tripped either bound.
+			if end, ok := core.hotblockTop(now, lastProgress, limit); ok {
+				now = end
+				lastCommitted = core.Committed()
+				lastProgress = core.lastCommitAt + 1
+				continue
 			}
 		}
 		if skip {

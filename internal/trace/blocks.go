@@ -1,0 +1,32 @@
+package trace
+
+import "repro/internal/isa"
+
+// BoundaryAfter reports whether dynamic instruction d ends a basic
+// block in the executed stream: control flow after d does not fall
+// through to PC+4. Jumps are always taken; conditional branches end a
+// block only when taken. The hot-block detector (internal/hotblock)
+// keys blocks on the instruction following a boundary, so a block is a
+// maximal run of the dynamic stream the fetch unit can consume without
+// a taken-control break.
+func BoundaryAfter(d *isa.DynInst) bool {
+	switch d.Class {
+	case isa.ClassJump:
+		return true
+	case isa.ClassBranch:
+		return d.Taken
+	}
+	return false
+}
+
+// BlockStartAt reports whether position i of t begins a basic block:
+// the trace start, or the predecessor ended a block.
+func (t *Trace) BlockStartAt(i int) bool {
+	if i == 0 {
+		return true
+	}
+	if i < 0 || i > len(t.Insts) {
+		return false
+	}
+	return BoundaryAfter(&t.Insts[i-1])
+}

@@ -9,13 +9,18 @@
 #   bench smoke     one iteration of the E2 benchmark, proving the
 #                   experiment harness end-to-end
 #   fuzz smoke      5s of the trace-loader fuzzer: corrupt bytes must
-#                   error, never panic
+#                   error, never panic; plus 5s of the hot-block replay
+#                   fuzzer: memoized drains must match the ticked engine
+#                   on arbitrary trace shapes
 #   degraded smoke  fgstpbench with an injected livelock must finish
 #                   the experiment, exit 1, and print byte-identical
 #                   reports for -jobs 1 and -jobs 4
 #   json smoke      fgstpbench -format json must emit a valid export
 #                   (scripts/jsoncheck) byte-identical across -jobs,
 #                   and fgstpsim -tracejson a valid Chrome trace
+#   hotblock smoke  fgstpbench output must be byte-identical with
+#                   hot-block memoization on and off, at -jobs 1 and 4
+#                   (replay is a pure speedup, never a result change)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -33,6 +38,9 @@ go test -run='^$' -bench=E2 -benchtime=1x .
 
 echo "== fuzz smoke (trace loader, 5s)"
 go test -run='^$' -fuzz=FuzzTraceLoad -fuzztime=5s ./internal/trace
+
+echo "== fuzz smoke (hot-block replay, 5s)"
+go test -run='^$' -fuzz=FuzzHotBlockReplay -fuzztime=5s ./internal/ooo
 
 echo "== degraded-run smoke (injected livelock, exit 1, jobs-determinism)"
 tmp="$(mktemp -d)"
@@ -64,5 +72,15 @@ go build -o "$tmp/fgstpsim" ./cmd/fgstpsim
     -tracejson "$tmp/pipe.json" >/dev/null 2>&1
 grep -q '"traceEvents"' "$tmp/pipe.json" || {
     echo "pipeline trace missing traceEvents"; exit 1; }
+
+echo "== hot-block byte-identity smoke (-hotblock=0 vs on, jobs 1 vs 4)"
+"$tmp/fgstpbench" -experiment E2 -insts 3000 -format json -hotblock=0 -jobs 1 \
+    >"$tmp/nohb1.json" 2>/dev/null
+"$tmp/fgstpbench" -experiment E2 -insts 3000 -format json -hotblock=0 -jobs 4 \
+    >"$tmp/nohb4.json" 2>/dev/null
+cmp "$tmp/nohb1.json" "$tmp/nohb4.json" || {
+    echo "-hotblock=0 export differs between -jobs 1 and -jobs 4"; exit 1; }
+cmp "$tmp/export1.json" "$tmp/nohb1.json" || {
+    echo "export differs between -hotblock on and off"; exit 1; }
 
 echo "check: ok"
