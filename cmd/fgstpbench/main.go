@@ -35,15 +35,20 @@
 //
 //	0  every simulation succeeded
 //	1  partial failure: some cells failed, the evaluation completed
-//	2  fatal: bad usage or setup (unknown experiment, invalid flags)
+//	2  fatal: bad usage or setup (unknown experiment, invalid flags),
+//	   or the evaluation was interrupted (Ctrl-C / SIGTERM cancel
+//	   between simulations and abort promptly)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -139,16 +144,27 @@ func run() int {
 		}
 		session.Poison(*inject)
 	}
+	// Ctrl-C / SIGTERM cancels the evaluation between simulations: the
+	// cell in flight finishes (the watchdog bounds it), every queued
+	// cell is skipped, and the run exits promptly instead of finishing
+	// the full job list.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	fmt.Fprintf(os.Stderr, "fgstpbench: %d worker(s)\n", sched.Workers(*jobs))
 	total := time.Now()
 	failedCells := 0
 	results := make([]*experiments.Result, 0, len(ids))
 	for _, id := range ids {
 		start := time.Now()
-		res, err := session.Run(id)
+		res, err := session.RunCtx(ctx, id)
 		if err != nil {
 			// Unknown experiment id: a usage error, not a degraded run.
 			fmt.Fprintln(os.Stderr, "fgstpbench:", err)
+			return 2
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "fgstpbench: interrupted during %s; aborting evaluation\n", id)
 			return 2
 		}
 		failedCells += len(res.Failures)

@@ -28,7 +28,9 @@
 //	-dumpconfig      print the machine preset as JSON and exit
 //	-list            list workloads and exit
 //	-inject  fault   inject a fault: "livelock" stalls the Fg-STP
-//	                 inter-core channel from cycle 0
+//	                 inter-core channel from cycle 0; "panic" makes the
+//	                 first channel poll panic inside the engine (the
+//	                 scheduler contains it as a structured failure)
 //	-hotblock        hot-block timing memoization (default on; output is
 //	                 byte-identical on or off — disable to time the
 //	                 plain engine). Replay telemetry (templates, replays,
@@ -44,18 +46,15 @@
 package main
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 
 	"repro/internal/cmp"
 	"repro/internal/config"
-	"repro/internal/faults"
+	"repro/internal/experiments"
 	"repro/internal/hotblock"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -64,10 +63,6 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
-
-// SimSchemaVersion identifies the fgstpsim machine-readable export
-// format (the bench tool has its own, experiments.SchemaVersion).
-const SimSchemaVersion = "fgstp.sim/1"
 
 func main() {
 	os.Exit(run())
@@ -91,7 +86,7 @@ func run() int {
 		traceJSON  = flag.String("tracejson", "", "write a Chrome trace-event file of the pipeline to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		inject     = flag.String("inject", "", "fault to inject: \"livelock\" stalls the Fg-STP inter-core channel")
+		inject     = flag.String("inject", "", "fault to inject: \"livelock\" stalls the Fg-STP inter-core channel; \"panic\" panics inside the engine (contained)")
 		simpointN  = flag.Int("simpoint", 0, "SimPoint interval size in instructions (0 = no sampled estimate)")
 		hotBlock   = flag.Bool("hotblock", true, "hot-block timing memoization (output is byte-identical on or off)")
 	)
@@ -192,23 +187,19 @@ func run() int {
 		modes = []cmp.Mode{md}
 	}
 
-	switch *inject {
-	case "", "livelock":
-	default:
-		return fatal(fmt.Errorf("unknown fault %q for -inject (want \"livelock\")", *inject))
-	}
-
 	// The modes are independent simulations over the same read-only
 	// trace: fan them out over the pool. Results come back in
 	// submission order, so the report reads identically for any -jobs.
-	// A failed mode reports FAILED without aborting its siblings.
-	jl := make([]sched.Job, len(modes))
+	// A failed mode reports FAILED without aborting its siblings. The
+	// job list is the shared construction the fgstpd daemon also uses
+	// (experiments.SimJobs), which validates -inject.
+	jl, err := experiments.SimJobs(m, tr, modes, *inject)
+	if err != nil {
+		return fatal(err)
+	}
 	hbCtrs := make([]hotblock.Counters, len(modes))
-	for i, md := range modes {
-		jl[i] = sched.Job{Machine: m, Mode: md, Trace: tr, Tag: string(md), HotBlock: &hbCtrs[i]}
-		if *inject == "livelock" && md == cmp.ModeFgSTP {
-			jl[i].Faults = faults.ChannelStall(0)
-		}
+	for i := range jl {
+		jl[i].HotBlock = &hbCtrs[i]
 	}
 	runs, errs := sched.RunJobsAll(*jobs, jl)
 
@@ -249,17 +240,8 @@ func run() int {
 			failed++
 		}
 	}
-	switch *format {
-	case "json":
-		if err := writeJSON(os.Stdout, m.Name, tr, modes, runs, errs); err != nil {
-			return fatal(err)
-		}
-	case "csv":
-		if err := writeCSV(os.Stdout, modes, runs, errs); err != nil {
-			return fatal(err)
-		}
-	default:
-		printText(modes, runs, errs)
+	if err := experiments.WriteSimFormat(os.Stdout, *format, m.Name, tr, modes, runs, errs); err != nil {
+		return fatal(err)
 	}
 	if *hotBlock {
 		printHotBlockFooter(hbCtrs, modes, runs, errs)
@@ -352,94 +334,6 @@ func printHotBlockFooter(ctrs []hotblock.Counters, modes []cmp.Mode, runs []stat
 	}
 }
 
-func printText(modes []cmp.Mode, runs []stats.Run, errs []error) {
-	for i := range runs {
-		if errs[i] != nil {
-			fmt.Printf("[%s] FAILED: %v\n\n", modes[i], errs[i])
-			continue
-		}
-		printRun(&runs[i])
-	}
-	if len(runs) > 1 && errs[0] == nil {
-		fmt.Println("speedups:")
-		base := &runs[0]
-		for i := 1; i < len(runs); i++ {
-			if errs[i] != nil {
-				fmt.Printf("  %-12s over %-8s FAIL\n", modes[i], base.Mode)
-				continue
-			}
-			fmt.Printf("  %-12s over %-8s %.3fx\n",
-				runs[i].Mode, base.Mode, stats.Speedup(base, &runs[i]))
-		}
-	}
-}
-
-// writeJSON emits the runs as one JSON document; failed modes carry an
-// error string instead of a run.
-func writeJSON(w *os.File, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error) error {
-	type modeResult struct {
-		Mode  string     `json:"mode"`
-		Error string     `json:"error,omitempty"`
-		Run   *stats.Run `json:"run,omitempty"`
-	}
-	doc := struct {
-		Schema   string       `json:"schema"`
-		Workload string       `json:"workload"`
-		Machine  string       `json:"machine"`
-		Insts    int          `json:"insts"`
-		Results  []modeResult `json:"results"`
-	}{Schema: SimSchemaVersion, Workload: tr.Name, Machine: machine, Insts: tr.Len()}
-	for i, md := range modes {
-		mr := modeResult{Mode: string(md)}
-		if errs[i] != nil {
-			mr.Error = errs[i].Error()
-		} else {
-			mr.Run = &runs[i]
-		}
-		doc.Results = append(doc.Results, mr)
-	}
-	b, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	_, err = w.Write(b)
-	return err
-}
-
-// writeCSV emits one summary record per mode plus one record per
-// metric, mirroring the bench tool's flat-record CSV shape.
-func writeCSV(w *os.File, modes []cmp.Mode, runs []stats.Run, errs []error) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"schema", SimSchemaVersion}); err != nil {
-		return err
-	}
-	for i, md := range modes {
-		if errs[i] != nil {
-			if err := cw.Write([]string{string(md), "error", errs[i].Error()}); err != nil {
-				return err
-			}
-			continue
-		}
-		r := &runs[i]
-		rec := []string{string(md), "summary",
-			strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Insts, 10),
-			strconv.FormatFloat(r.IPC(), 'g', -1, 64)}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-		for _, s := range r.Metrics.Sorted() {
-			rec := []string{string(md), "metric", s.Name,
-				strconv.FormatFloat(s.Value, 'g', -1, 64)}
-			if err := cw.Write(rec); err != nil {
-				return err
-			}
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
-
 func loadMachine(preset, path string) (config.Machine, error) {
 	if path == "" {
 		return config.ByName(preset)
@@ -457,14 +351,6 @@ func listWorkloads() {
 		tb.AddRow(w.Name, w.Suite, w.Description)
 	}
 	fmt.Print(tb.String())
-}
-
-func printRun(r *stats.Run) {
-	fmt.Printf("[%s] cycles=%d insts=%d IPC=%.3f\n", r.Mode, r.Cycles, r.Insts, r.IPC())
-	for _, s := range r.Metrics.Sorted() {
-		fmt.Printf("    %-24s %.4f\n", s.Name, s.Value)
-	}
-	fmt.Println()
 }
 
 // fatal reports a setup/usage error (exit 2 — distinct from exit 1,

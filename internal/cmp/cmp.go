@@ -20,6 +20,17 @@ import (
 	"repro/internal/workloads"
 )
 
+// EngineVersion identifies the timing semantics of the simulation
+// engine. It is part of every content-addressed result-cache key
+// (internal/resultcache): byte-identical determinism makes cached
+// results correct by construction *for one engine version*, so any
+// change that can alter a cycle count, a counter, or an export byte —
+// timing-model changes, new counters, schema or formatting changes —
+// MUST bump this string, or stale cache entries will be served as
+// current results. Pure speedups proven byte-identical (cycle
+// skipping, hot-block replay) do not require a bump.
+const EngineVersion = "fgstp-engine/7"
+
 // Mode selects how the 2-core CMP executes a single thread.
 type Mode string
 

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -85,6 +86,11 @@ type runner struct {
 	// jobs is the worker count for sched.Map fan-out (<= 0 picks
 	// GOMAXPROCS).
 	jobs int
+	// ctx cancels the fan-outs between simulations (never nil; the
+	// default is context.Background()). An individual simulation is
+	// bounded by the livelock watchdog, so cancellation takes effect at
+	// the next cell boundary.
+	ctx context.Context
 	// poison names a workload whose Fg-STP runs get a channel-stall
 	// fault injected (empty = none); see Session.Poison.
 	poison string
@@ -103,7 +109,7 @@ type runner struct {
 }
 
 func newRunner(insts uint64, jobs int) *runner {
-	return &runner{insts: insts, jobs: jobs}
+	return &runner{insts: insts, jobs: jobs, ctx: context.Background()}
 }
 
 // singleOf runs (and memoises, single-flight) the single-core baseline.
@@ -231,7 +237,7 @@ func (r *runner) gridOutcomes(m config.Machine, ws []workloads.Workload, modes [
 			cells = append(cells, cell{w, mode})
 		}
 	}
-	runs, errs := sched.MapAll(r.jobs, cells, func(c cell) (stats.Run, error) {
+	runs, errs := sched.MapAllCtx(r.ctx, r.jobs, cells, func(c cell) (stats.Run, error) {
 		return r.runOf(m, c.mode, c.w)
 	})
 	out := make([]map[cmp.Mode]outcome, len(ws))
@@ -256,7 +262,7 @@ func (r *runner) gridOutcomes(m config.Machine, ws []workloads.Workload, modes [
 // ablation and every sensitivity sweep. Failures never abort the
 // batch.
 func (r *runner) speedupOutcomes(m config.Machine, ws []workloads.Workload) ([]float64, []error) {
-	return sched.MapAll(r.jobs, ws, func(w workloads.Workload) (float64, error) {
+	return sched.MapAllCtx(r.ctx, r.jobs, ws, func(w workloads.Workload) (float64, error) {
 		s, err := r.singleOf(m, w)
 		if err != nil {
 			return 0, err
@@ -315,6 +321,22 @@ func (s *Session) Poison(workload string) { s.r.poison = workload }
 // Session to share trace and baseline caches across experiments.
 func Run(id string, insts uint64) (*Result, error) {
 	return NewSession(insts, 0).Run(id)
+}
+
+// RunCtx executes one experiment on the session with cancellation
+// threaded into every simulation fan-out: once ctx is done no new
+// simulation cell starts, cells already in flight finish (each is
+// bounded by the livelock watchdog), and the skipped cells surface as
+// FAIL cells carrying ctx's error. Sessions are single-goroutine, so
+// the context applies to this call only.
+func (s *Session) RunCtx(ctx context.Context, id string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prev := s.r.ctx
+	s.r.ctx = ctx
+	defer func() { s.r.ctx = prev }()
+	return s.Run(id)
 }
 
 // Run executes one experiment on the session.
@@ -498,7 +520,7 @@ func (r *runner) e4() (*Result, error) {
 			cells = append(cells, cell{i, w})
 		}
 	}
-	sp, errs := sched.MapAll(r.jobs, cells, func(c cell) (float64, error) {
+	sp, errs := sched.MapAllCtx(r.ctx, r.jobs, cells, func(c cell) (float64, error) {
 		s, err := r.singleOf(machines[c.vi], c.w)
 		if err != nil {
 			return 0, err
@@ -676,7 +698,7 @@ func (r *runner) e8() (*Result, error) {
 		g     stats.Run
 		insts int
 	}
-	rows, errs := sched.MapAll(r.jobs, ws, func(w workloads.Workload) (row, error) {
+	rows, errs := sched.MapAllCtx(r.ctx, r.jobs, ws, func(w workloads.Workload) (row, error) {
 		tr := r.traceOf(w)
 		g, err := r.fgstpOf(m, w)
 		return row{g, tr.Len()}, err

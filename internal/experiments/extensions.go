@@ -40,7 +40,7 @@ func (r *runner) e11() (*Result, error) {
 	type row struct {
 		c map[cmp.Mode]energy.Compare
 	}
-	rows, err := sched.Map(r.jobs, ws, func(w workloads.Workload) (row, error) {
+	rows, err := sched.MapCtx(r.ctx, r.jobs, ws, func(w workloads.Workload) (row, error) {
 		runs := make(map[cmp.Mode]stats.Run, len(cmp.Modes()))
 		for _, mode := range cmp.Modes() {
 			run, err := r.runOf(m, mode, w)
@@ -111,7 +111,7 @@ func (r *runner) e12() (*Result, error) {
 		"workload", "single", "fgstp", "history", "oracle")
 	// One job per workload; each policy comparison is itself many
 	// phase-level simulations, so the subset fans out well.
-	policies, err := sched.Map(r.jobs, subset, func(name string) (map[adaptive.Policy]adaptive.Result, error) {
+	policies, err := sched.MapCtx(r.ctx, r.jobs, subset, func(name string) (map[adaptive.Policy]adaptive.Result, error) {
 		w, ok := workloads.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown workload %q", name)

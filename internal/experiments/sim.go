@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/faults"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SimSchemaVersion identifies the fgstpsim machine-readable export
+// format (the bench tool has its own, SchemaVersion). The writers
+// below are the single rendering path for it: fgstpsim and the fgstpd
+// daemon both call them, which is what keeps server responses
+// byte-identical to CLI output.
+const SimSchemaVersion = "fgstp.sim/1"
+
+// SimInjections lists the fault injections SimJobs accepts (beyond ""):
+// "livelock" stalls the Fg-STP inter-core channel from cycle 0 and
+// "panic" makes the first channel poll panic inside the engine — the
+// two chaos drills of the fault-containment machinery.
+func SimInjections() []string { return []string{"livelock", "panic"} }
+
+// SimJobs builds the per-mode job list of one simulation report: one
+// job per mode over the shared read-only trace, tagged by mode so
+// failures render identically everywhere. A non-empty inject arms the
+// named fault on the Fg-STP mode's job (the other modes have no
+// inter-core channel to fault).
+func SimJobs(m config.Machine, tr *trace.Trace, modes []cmp.Mode, inject string) ([]sched.Job, error) {
+	jl := make([]sched.Job, len(modes))
+	for i, md := range modes {
+		jl[i] = sched.Job{Machine: m, Mode: md, Trace: tr, Tag: string(md)}
+		if md != cmp.ModeFgSTP {
+			continue
+		}
+		switch inject {
+		case "":
+		case "livelock":
+			jl[i].Faults = faults.ChannelStall(0)
+		case "panic":
+			jl[i].Faults = faults.ChannelPanic(0)
+		default:
+			return nil, fmt.Errorf("unknown fault %q for injection (want \"livelock\" or \"panic\")", inject)
+		}
+	}
+	return jl, nil
+}
+
+// WriteSimJSON emits the runs as one fgstp.sim/1 JSON document; failed
+// modes carry an error string instead of a run.
+func WriteSimJSON(w io.Writer, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	type modeResult struct {
+		Mode  string     `json:"mode"`
+		Error string     `json:"error,omitempty"`
+		Run   *stats.Run `json:"run,omitempty"`
+	}
+	doc := struct {
+		Schema   string       `json:"schema"`
+		Workload string       `json:"workload"`
+		Machine  string       `json:"machine"`
+		Insts    int          `json:"insts"`
+		Results  []modeResult `json:"results"`
+	}{Schema: SimSchemaVersion, Workload: tr.Name, Machine: machine, Insts: tr.Len()}
+	for i, md := range modes {
+		mr := modeResult{Mode: string(md)}
+		if errs[i] != nil {
+			mr.Error = errs[i].Error()
+		} else {
+			mr.Run = &runs[i]
+		}
+		doc.Results = append(doc.Results, mr)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteSimCSV emits one summary record per mode plus one record per
+// metric, mirroring the bench tool's flat-record CSV shape.
+func WriteSimCSV(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"schema", SimSchemaVersion}); err != nil {
+		return err
+	}
+	for i, md := range modes {
+		if errs[i] != nil {
+			if err := cw.Write([]string{string(md), "error", errs[i].Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		r := &runs[i]
+		rec := []string{string(md), "summary",
+			strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Insts, 10),
+			strconv.FormatFloat(r.IPC(), 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+		for _, s := range r.Metrics.Sorted() {
+			rec := []string{string(md), "metric", s.Name,
+				strconv.FormatFloat(s.Value, 'g', -1, 64)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSimText renders the human-readable report: one block per mode
+// (FAILED line for a failed mode) and, when several modes ran, the
+// speedup comparison against the first.
+func WriteSimText(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	for i := range runs {
+		if errs[i] != nil {
+			if _, err := fmt.Fprintf(w, "[%s] FAILED: %v\n\n", modes[i], errs[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		r := &runs[i]
+		if _, err := fmt.Fprintf(w, "[%s] cycles=%d insts=%d IPC=%.3f\n", r.Mode, r.Cycles, r.Insts, r.IPC()); err != nil {
+			return err
+		}
+		for _, s := range r.Metrics.Sorted() {
+			if _, err := fmt.Fprintf(w, "    %-24s %.4f\n", s.Name, s.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if len(runs) > 1 && errs[0] == nil {
+		if _, err := fmt.Fprintln(w, "speedups:"); err != nil {
+			return err
+		}
+		base := &runs[0]
+		for i := 1; i < len(runs); i++ {
+			if errs[i] != nil {
+				if _, err := fmt.Fprintf(w, "  %-12s over %-8s FAIL\n", modes[i], base.Mode); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %-12s over %-8s %.3fx\n",
+				runs[i].Mode, base.Mode, stats.Speedup(base, &runs[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSimFormat renders a simulation report in the named format
+// ("text", "json" or "csv") to w.
+func WriteSimFormat(w io.Writer, format, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	switch format {
+	case "text":
+		return WriteSimText(w, modes, runs, errs)
+	case "json":
+		return WriteSimJSON(w, machine, tr, modes, runs, errs)
+	case "csv":
+		return WriteSimCSV(w, modes, runs, errs)
+	default:
+		return fmt.Errorf("unknown format %q (want text, json or csv)", format)
+	}
+}

@@ -121,3 +121,29 @@ func (s *Stall) Polls() int64 { return s.polls }
 func (s *Stall) String() string {
 	return fmt.Sprintf("channel stall from cycle %d", s.From)
 }
+
+// PanicStall is a chaos-drill injector: the first inter-core channel
+// poll at or after cycle From panics inside the engine. The panic must
+// be contained by the scheduler (sched.protect) and surface as a
+// structured *sched.PanicError — never kill the process. Only the
+// Fg-STP machine polls channel faults, so the other modes are immune.
+type PanicStall struct {
+	// From is the first cycle the poll panics.
+	From int64
+}
+
+// ChannelPanic returns a fault that panics on the first channel poll
+// at or after cycle from.
+func ChannelPanic(from int64) *PanicStall { return &PanicStall{From: from} }
+
+// ChannelStalled implements the engine's fault hook by panicking.
+func (p *PanicStall) ChannelStalled(dst int, now int64) bool {
+	if now >= p.From {
+		panic(fmt.Sprintf("chaos drill: injected panic on channel poll to core %d at cycle %d", dst, now))
+	}
+	return false
+}
+
+func (p *PanicStall) String() string {
+	return fmt.Sprintf("channel panic from cycle %d", p.From)
+}

@@ -26,6 +26,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -114,6 +115,17 @@ func Workers(n int) int {
 // discarded. A panicking fn is contained and reported like any other
 // failure.
 func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), workers, items, fn)
+}
+
+// MapCtx is Map with cancellation between items: once ctx is done, no
+// further item starts — items already in flight run to completion (an
+// individual simulation is bounded by the livelock watchdog, so
+// in-flight work cannot hang past it) and their results are discarded.
+// A cancelled fan-out returns ctx's error (use errors.Is with
+// context.Canceled / context.DeadlineExceeded) unless an item failure
+// at a lower submission index takes precedence.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 	n := len(items)
 	out := make([]R, n)
 	if n == 0 {
@@ -125,6 +137,9 @@ func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 	}
 	if w == 1 {
 		for i := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := protect(itemTag(i), fn, items[i])
 			if err != nil {
 				return nil, err
@@ -147,6 +162,11 @@ func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					failed.Store(true)
 					return
 				}
 				r, err := protect(itemTag(i), fn, items[i])
@@ -179,6 +199,15 @@ func itemTag(i int) string { return fmt.Sprintf("item %d", i) }
 // deterministic aggregate error. This is the degradation primitive:
 // one poisoned simulation yields one FAIL cell, not a dead experiment.
 func MapAll[T, R any](workers int, items []T, fn func(T) (R, error)) (out []R, errs []error) {
+	return MapAllCtx(context.Background(), workers, items, fn)
+}
+
+// MapAllCtx is MapAll with cancellation between items: once ctx is
+// done, items not yet started are skipped and report ctx's error at
+// their index, while items already in flight run to completion and
+// keep their real results. Aggregation stays aligned with items either
+// way.
+func MapAllCtx[T, R any](ctx context.Context, workers int, items []T, fn func(T) (R, error)) (out []R, errs []error) {
 	n := len(items)
 	out = make([]R, n)
 	errs = make([]error, n)
@@ -191,6 +220,10 @@ func MapAll[T, R any](workers int, items []T, fn func(T) (R, error)) (out []R, e
 	}
 	if w == 1 {
 		for i := range items {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			out[i], errs[i] = protect(itemTag(i), fn, items[i])
 		}
 		return out, errs
@@ -209,6 +242,10 @@ func MapAll[T, R any](workers int, items []T, fn func(T) (R, error)) (out []R, e
 				if i >= n {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				out[i], errs[i] = protect(itemTag(i), fn, items[i])
 			}
 		}()
@@ -223,10 +260,22 @@ func RunJobs(workers int, jobs []Job) ([]stats.Run, error) {
 	return Map(workers, jobs, Job.Run)
 }
 
+// RunJobsCtx is RunJobs with cancellation between jobs (see MapCtx).
+func RunJobsCtx(ctx context.Context, workers int, jobs []Job) ([]stats.Run, error) {
+	return MapCtx(ctx, workers, jobs, Job.Run)
+}
+
 // RunJobsAll fans the job list out like RunJobs but collects every
 // failure instead of cancelling on the first: errs[i] is non-nil
 // exactly when jobs[i] failed, and the other jobs' summaries are still
 // returned.
 func RunJobsAll(workers int, jobs []Job) ([]stats.Run, []error) {
 	return MapAll(workers, jobs, Job.Run)
+}
+
+// RunJobsAllCtx is RunJobsAll with cancellation between jobs (see
+// MapAllCtx): jobs not yet started when ctx is done report ctx's error
+// at their index.
+func RunJobsAllCtx(ctx context.Context, workers int, jobs []Job) ([]stats.Run, []error) {
+	return MapAllCtx(ctx, workers, jobs, Job.Run)
 }

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestChaosSoak is the multi-tenant fault-containment drill: a mix of
+// good and poisoned jobs hammer the server concurrently and the
+// contract must hold on every axis at once —
+//
+//   - poisoned cells (livelock stall, in-engine panic) come back as
+//     structured error responses, never a dead process or connection;
+//   - every good tenant's response is byte-identical to the CLI
+//     rendering of the same job, unperturbed by the chaos running on
+//     sibling workers;
+//   - the daemon stays live (healthz 200) and accounts the contained
+//     failures in its counters.
+//
+// It runs the real engine end to end, with fault injection enabled the
+// way a chaos-drill deployment would run it.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine soak test")
+	}
+	s := newTestServer(t, Config{Workers: 4, QueueCap: 32, ShedMark: 128, CacheDir: t.TempDir(), AllowChaos: true})
+
+	const insts = 2000
+	wantGood := simCLI(t, "mcf", "small", insts, "json")
+	good := SimRequest{Workload: "mcf", Machine: "small", Insts: insts, Format: "json"}
+	livelock := SimRequest{Workload: "gobmk", Machine: "small", Insts: insts, Mode: "fgstp", Inject: "livelock"}
+	panicked := SimRequest{Workload: "gobmk", Machine: "small", Insts: insts, Mode: "fgstp", Inject: "panic"}
+
+	type probe struct {
+		tenant   string
+		req      SimRequest
+		wantCode int
+		wantKind string // "" for 200 responses
+	}
+	var probes []probe
+	// Several rounds so chaos and clean jobs genuinely overlap on the
+	// worker pool, from distinct tenants so containment failures would
+	// cross tenant boundaries if they existed.
+	for round := 0; round < 3; round++ {
+		probes = append(probes,
+			probe{"good-1", good, http.StatusOK, ""},
+			probe{"good-2", good, http.StatusOK, ""},
+			probe{"evil", livelock, http.StatusUnprocessableEntity, "livelock"},
+			probe{"evil", panicked, http.StatusInternalServerError, "panic"},
+		)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan string, len(probes))
+	for i := range probes {
+		p := probes[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := post(t, s, "/v1/sim", p.tenant, p.req)
+			if w.Code != p.wantCode {
+				errc <- strings.TrimSpace(w.Body.String())
+				t.Errorf("tenant %s (inject %q): status %d, want %d", p.tenant, p.req.Inject, w.Code, p.wantCode)
+				return
+			}
+			if p.wantKind != "" {
+				if k := errKind(t, w); k != p.wantKind {
+					t.Errorf("tenant %s: error kind %q, want %q", p.tenant, k, p.wantKind)
+				}
+				return
+			}
+			if !bytes.Equal(w.Body.Bytes(), wantGood) {
+				t.Errorf("tenant %s: good response diverged from CLI rendering under chaos load", p.tenant)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Logf("unexpected body: %s", msg)
+	}
+
+	// The process survived every drill: live, ready, and accounting the
+	// contained failures.
+	if w := get(t, s, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz after soak = %d", w.Code)
+	}
+	if w := get(t, s, "/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz after soak = %d", w.Code)
+	}
+	metrics := get(t, s, "/metricz").Body.String()
+	for _, want := range []string{"fgstpd_panics_contained 3", "fgstpd_livelocks 3"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metricz missing %q after soak:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestChaosNeverCached: an injected-fault job bypasses the result cache
+// entirely — no write, and a later clean request with the same shape
+// computes fresh.
+func TestChaosNeverCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine test")
+	}
+	s := newTestServer(t, Config{Workers: 1, CacheDir: t.TempDir(), AllowChaos: true})
+	const insts = 1500
+	// A full-mode run with a livelock drill degrades (fgstp cell FAILs,
+	// baselines succeed): 200, exit 1, cache bypass.
+	drill := post(t, s, "/v1/sim", "t", SimRequest{Workload: "gobmk", Machine: "small", Insts: insts, Format: "json", Inject: "livelock"})
+	if drill.Code != http.StatusOK {
+		t.Fatalf("drill = %d\n%s", drill.Code, drill.Body.String())
+	}
+	if e := drill.Header().Get(HeaderExit); e != "1" {
+		t.Fatalf("drill exit = %q, want 1", e)
+	}
+	if c := drill.Header().Get(HeaderCache); c != "bypass" {
+		t.Fatalf("drill cache state = %q, want bypass", c)
+	}
+	if !strings.Contains(drill.Body.String(), "livelock") {
+		t.Fatalf("degraded document does not name the fault:\n%s", drill.Body.String())
+	}
+	// The clean request computes fresh (miss, not hit) and is clean.
+	clean := post(t, s, "/v1/sim", "t", SimRequest{Workload: "gobmk", Machine: "small", Insts: insts, Format: "json"})
+	if clean.Code != http.StatusOK {
+		t.Fatalf("clean = %d", clean.Code)
+	}
+	if c := clean.Header().Get(HeaderCache); c != "miss" {
+		t.Fatalf("clean cache state = %q, want miss (chaos result must not satisfy it)", c)
+	}
+	if e := clean.Header().Get(HeaderExit); e != "0" {
+		t.Fatalf("clean exit = %q, want 0", e)
+	}
+	if bytes.Equal(clean.Body.Bytes(), drill.Body.Bytes()) {
+		t.Fatal("clean response equals degraded drill response")
+	}
+}

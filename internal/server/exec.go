@@ -1,0 +1,332 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/resultcache"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// instsLimit bounds the per-simulation instruction budget a request may
+// ask for: the daemon is multi-tenant, and one request must not be able
+// to occupy a worker for an unbounded time (the per-job deadline is the
+// backstop, this keeps honest requests honest).
+const instsLimit = 10_000_000
+
+// BenchRequest is the /v1/bench job: one experiment (or "all") of the
+// paper evaluation, rendered exactly like `fgstpbench -format ...`.
+type BenchRequest struct {
+	// Experiment is an id (E1..E10, extensions E11/E12) or "all"
+	// (default), which runs the paper evaluation E1..E10.
+	Experiment string `json:"experiment,omitempty"`
+	// Insts is the per-simulation instruction budget (default 100000).
+	Insts uint64 `json:"insts,omitempty"`
+	// Format selects the rendering: text, json (default) or csv.
+	Format string `json:"format,omitempty"`
+	// Jobs is the simulation fan-out inside this request (<= 0 picks
+	// GOMAXPROCS). Output is byte-identical for any value, so Jobs is
+	// deliberately not part of the cache key.
+	Jobs int `json:"jobs,omitempty"`
+	// Inject poisons one workload: its Fg-STP cells run with a stalled
+	// inter-core channel and render FAIL(livelock). Chaos drills must be
+	// enabled server-side (403 otherwise) and are never cached.
+	Inject string `json:"inject,omitempty"`
+	// TimeoutMillis overrides the per-job deadline, clamped to the
+	// server's maximum (0 = server default).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+
+	ids []string // resolved by validate
+}
+
+// validate normalises defaults and resolves the experiment list; any
+// error is a client error (HTTP 400).
+func (q *BenchRequest) validate() error {
+	if q.Experiment == "" {
+		q.Experiment = "all"
+	}
+	if q.Experiment == "all" {
+		q.ids = experiments.IDs()
+	} else {
+		for _, id := range append(experiments.IDs(), experiments.ExtensionIDs()...) {
+			if id == q.Experiment {
+				q.ids = []string{id}
+				break
+			}
+		}
+		if q.ids == nil {
+			return fmt.Errorf("unknown experiment %q (want E1..E10, E11/E12 or \"all\")", q.Experiment)
+		}
+	}
+	if q.Insts == 0 {
+		q.Insts = 100_000
+	}
+	if q.Insts > instsLimit {
+		return fmt.Errorf("insts %d exceeds the per-request limit %d", q.Insts, instsLimit)
+	}
+	if q.Format == "" {
+		q.Format = "json"
+	}
+	if !validFormat(q.Format) {
+		return fmt.Errorf("unknown format %q (want text, json or csv)", q.Format)
+	}
+	if q.Inject != "" {
+		if _, ok := workloads.ByName(q.Inject); !ok {
+			return fmt.Errorf("unknown workload %q for inject", q.Inject)
+		}
+	}
+	if q.TimeoutMillis < 0 {
+		return fmt.Errorf("negative timeout_ms %d", q.TimeoutMillis)
+	}
+	return nil
+}
+
+// cacheable reports whether this request's result may be served from
+// and written to the result cache. Chaos drills are never cached: a
+// degraded result must not be replayed to a later clean request.
+func (q *BenchRequest) cacheable() bool { return q.Inject == "" }
+
+// cacheKey content-addresses the request. The bench corpus is fully
+// determined by the engine version (presets and trace generators are
+// code), so the key hashes the canonical preset configs and the
+// workload roster in place of per-request config and trace bytes.
+func (q *BenchRequest) cacheKey() (string, error) {
+	mediumPreset := config.Medium()
+	medium, err := mediumPreset.ToJSON()
+	if err != nil {
+		return "", err
+	}
+	smallPreset := config.Small()
+	small, err := smallPreset.ToJSON()
+	if err != nil {
+		return "", err
+	}
+	presets := append(append([]byte{}, medium...), small...)
+	corpus := []byte(strings.Join(workloads.Names(), ","))
+	return resultcache.Key(cmp.EngineVersion, presets, corpus,
+		"bench", q.Experiment, strconv.FormatUint(q.Insts, 10), q.Format, q.Inject), nil
+}
+
+// SimRequest is the /v1/sim job: one workload on one machine in one or
+// all execution modes, rendered exactly like `fgstpsim -format ...`.
+type SimRequest struct {
+	// Workload names the trace generator (default mcf).
+	Workload string `json:"workload,omitempty"`
+	// Machine is a preset name, small or medium (default medium).
+	Machine string `json:"machine,omitempty"`
+	// Config is an inline JSON machine configuration overriding Machine.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Mode is single, corefusion, fgstp or all (default all).
+	Mode string `json:"mode,omitempty"`
+	// Insts is the instruction budget (default 100000).
+	Insts uint64 `json:"insts,omitempty"`
+	// Format selects the rendering: text, json (default) or csv.
+	Format string `json:"format,omitempty"`
+	// Jobs is the per-mode fan-out; not part of the cache key (output is
+	// byte-identical for any value).
+	Jobs int `json:"jobs,omitempty"`
+	// Inject arms a fault on the Fg-STP mode: "livelock" stalls the
+	// inter-core channel, "panic" panics inside the engine (contained by
+	// the scheduler). Requires chaos enabled server-side; never cached.
+	Inject string `json:"inject,omitempty"`
+	// TimeoutMillis overrides the per-job deadline, clamped to the
+	// server's maximum (0 = server default).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+
+	m     config.Machine // resolved by validate
+	tr    *trace.Trace
+	modes []cmp.Mode
+}
+
+// validate normalises defaults, resolves the machine and captures the
+// workload trace (deterministic, so safe to do before admission — the
+// trace bytes are the cache-key component). Any error is a client
+// error (HTTP 400).
+func (q *SimRequest) validate() error {
+	if q.Workload == "" {
+		q.Workload = "mcf"
+	}
+	w, ok := workloads.ByName(q.Workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", q.Workload)
+	}
+	if len(q.Config) > 0 {
+		m, err := config.FromJSON(q.Config)
+		if err != nil {
+			return fmt.Errorf("inline config: %w", err)
+		}
+		q.m = m
+	} else {
+		if q.Machine == "" {
+			q.Machine = "medium"
+		}
+		m, err := config.ByName(q.Machine)
+		if err != nil {
+			return err
+		}
+		q.m = m
+	}
+	if err := q.m.Validate(); err != nil {
+		return err
+	}
+	if q.Mode == "" {
+		q.Mode = "all"
+	}
+	if q.Mode == "all" {
+		q.modes = cmp.Modes()
+	} else {
+		md, err := cmp.ParseMode(q.Mode)
+		if err != nil {
+			return err
+		}
+		q.modes = []cmp.Mode{md}
+	}
+	if q.Insts == 0 {
+		q.Insts = 100_000
+	}
+	if q.Insts > instsLimit {
+		return fmt.Errorf("insts %d exceeds the per-request limit %d", q.Insts, instsLimit)
+	}
+	if q.Format == "" {
+		q.Format = "json"
+	}
+	if !validFormat(q.Format) {
+		return fmt.Errorf("unknown format %q (want text, json or csv)", q.Format)
+	}
+	switch q.Inject {
+	case "", "livelock", "panic":
+	default:
+		return fmt.Errorf("unknown fault %q for inject (want \"livelock\" or \"panic\")", q.Inject)
+	}
+	if q.TimeoutMillis < 0 {
+		return fmt.Errorf("negative timeout_ms %d", q.TimeoutMillis)
+	}
+	q.tr = w.Trace(q.Insts)
+	if q.tr.Len() == 0 {
+		return fmt.Errorf("workload %q yielded an empty trace", q.Workload)
+	}
+	return nil
+}
+
+func (q *SimRequest) cacheable() bool { return q.Inject == "" }
+
+// cacheKey content-addresses the request over the exact inputs of the
+// simulation: engine version, canonical machine config and the captured
+// trace bytes, plus the mode/format parameters.
+func (q *SimRequest) cacheKey() (string, error) {
+	cfg, err := q.m.ToJSON()
+	if err != nil {
+		return "", err
+	}
+	var tb bytes.Buffer
+	if err := q.tr.Save(&tb); err != nil {
+		return "", err
+	}
+	return resultcache.Key(cmp.EngineVersion, cfg, tb.Bytes(),
+		"sim", q.Mode, strconv.FormatUint(q.Insts, 10), q.Format, q.Inject), nil
+}
+
+func validFormat(f string) bool {
+	for _, v := range experiments.Formats() {
+		if v == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Executor runs validated jobs and returns the rendered payload plus
+// the CLI exit code it corresponds to (0 = clean, 1 = completed with
+// FAIL cells). A non-nil error means the request produced no usable
+// document — total failure, classified into an HTTP status by the
+// server. The engine-backed implementation is the default; tests
+// substitute stubs to drive the backpressure and failure paths without
+// simulating.
+type Executor interface {
+	Bench(ctx context.Context, req *BenchRequest) ([]byte, int, error)
+	Sim(ctx context.Context, req *SimRequest) ([]byte, int, error)
+}
+
+// engineExecutor runs jobs on the real simulation engine through the
+// exact rendering paths of the CLIs — experiments.WriteFormat for
+// bench, experiments.WriteSimFormat for sim — which is what makes
+// server responses byte-identical to fgstpbench/fgstpsim stdout.
+type engineExecutor struct{}
+
+func (engineExecutor) Bench(ctx context.Context, req *BenchRequest) ([]byte, int, error) {
+	// A fresh session per request: sessions are single-goroutine (their
+	// trace/baseline caches are shared within one evaluation, which is
+	// exactly one request here), and per-request state is what keeps one
+	// tenant's poisoned run out of another's baselines.
+	session := experiments.NewSession(req.Insts, req.Jobs)
+	if req.Inject != "" {
+		session.Poison(req.Inject)
+	}
+	failed := 0
+	results := make([]*experiments.Result, 0, len(req.ids))
+	for _, id := range req.ids {
+		res, err := session.RunCtx(ctx, id)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		failed += len(res.Failures)
+		results = append(results, res)
+	}
+	var buf bytes.Buffer
+	if err := experiments.WriteFormat(&buf, req.Format, req.Insts, results); err != nil {
+		return nil, 0, err
+	}
+	exit := 0
+	if failed > 0 {
+		exit = 1
+	}
+	return buf.Bytes(), exit, nil
+}
+
+func (engineExecutor) Sim(ctx context.Context, req *SimRequest) ([]byte, int, error) {
+	jl, err := experiments.SimJobs(req.m, req.tr, req.modes, req.Inject)
+	if err != nil {
+		return nil, 0, err
+	}
+	runs, errs := sched.RunJobsAllCtx(ctx, req.Jobs, jl)
+	failed := 0
+	var firstErr error
+	for _, e := range errs {
+		if e != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+	}
+	// Every requested mode failed: there is no document worth rendering,
+	// surface the failure itself (classified by the server into 422 for
+	// livelock, 500 for a contained panic, 504 for deadline/cancel).
+	if failed == len(req.modes) {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, firstErr
+	}
+	var buf bytes.Buffer
+	if err := experiments.WriteSimFormat(&buf, req.Format, req.m.Name, req.tr, req.modes, runs, errs); err != nil {
+		return nil, 0, err
+	}
+	exit := 0
+	if failed > 0 {
+		exit = 1
+	}
+	return buf.Bytes(), exit, nil
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission-control errors, mapped to HTTP responses by the handlers:
+// a full tenant queue is the client's backpressure signal (429), the
+// shed watermark protects every tenant from one overload (503), and a
+// closed queue means the daemon is draining (503).
+var (
+	errTenantFull = errors.New("tenant queue full")
+	errShed       = errors.New("load shed: total queue above watermark")
+	errClosed     = errors.New("queue closed (draining)")
+)
+
+// job is one admitted request travelling from handler to worker. The
+// handler blocks on done (or its request context); the worker fills
+// res and closes done.
+type job struct {
+	tenant string
+	ctx    context.Context
+	exec   func(ctx context.Context) *result
+	res    *result
+	done   chan struct{}
+}
+
+// queue is the bounded, multi-tenant admission queue: per-tenant FIFO
+// order, round-robin dequeue across tenants so one flooding tenant
+// cannot starve the others, a per-tenant capacity bound (429 on
+// overflow) and a global shed watermark (503 above it).
+type queue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	perTenant map[string][]*job
+	// order lists tenants in first-seen order; rr is the round-robin
+	// cursor over it. Tenants stay listed once seen (the set is small
+	// and bounded by distinct tenant names), empty queues are skipped.
+	order  []string
+	rr     int
+	total  int
+	cap    int // per-tenant bound
+	shed   int // global watermark
+	closed bool
+}
+
+func newQueue(tenantCap, shedMark int) *queue {
+	q := &queue{perTenant: make(map[string][]*job), cap: tenantCap, shed: shedMark}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// enqueue admits j or reports why it cannot: errClosed while draining,
+// errShed above the global watermark, errTenantFull at the per-tenant
+// bound.
+func (q *queue) enqueue(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch {
+	case q.closed:
+		return errClosed
+	case q.total >= q.shed:
+		return errShed
+	case len(q.perTenant[j.tenant]) >= q.cap:
+		return errTenantFull
+	}
+	if _, seen := q.perTenant[j.tenant]; !seen {
+		q.order = append(q.order, j.tenant)
+	}
+	q.perTenant[j.tenant] = append(q.perTenant[j.tenant], j)
+	q.total++
+	q.cond.Signal()
+	return nil
+}
+
+// dequeue blocks until a job is available (fair round-robin across
+// tenants with queued work) or the queue is closed and empty (ok =
+// false, the worker-exit signal). Draining keeps dequeuing: jobs
+// admitted before close still execute.
+func (q *queue) dequeue() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.total > 0 {
+			for range q.order {
+				t := q.order[q.rr%len(q.order)]
+				q.rr = (q.rr + 1) % len(q.order)
+				if jobs := q.perTenant[t]; len(jobs) > 0 {
+					j := jobs[0]
+					q.perTenant[t] = jobs[1:]
+					q.total--
+					return j, true
+				}
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close stops admission and wakes every blocked worker; already-queued
+// jobs still drain.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth reports the total queued jobs and the number of tenants with
+// queued work.
+func (q *queue) depth() (total, tenants int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, jobs := range q.perTenant {
+		if len(jobs) > 0 {
+			tenants++
+		}
+	}
+	return q.total, tenants
+}

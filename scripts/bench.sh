@@ -19,6 +19,7 @@ TIME="${BENCH_TIME:-1x}"
 
 record() {
     out="$1"
+    mkdir -p "$(dirname "$out")"
     : >"$out"
     echo "== bench record: root experiments (count=$COUNT, benchtime=$TIME)" >&2
     go test -run='^$' -bench=. -benchmem -benchtime="$TIME" -count="$COUNT" . | tee -a "$out" >&2

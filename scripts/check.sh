@@ -21,6 +21,11 @@
 #   hotblock smoke  fgstpbench output must be byte-identical with
 #                   hot-block memoization on and off, at -jobs 1 and 4
 #                   (replay is a pure speedup, never a result change)
+#   service smoke   fgstpd end to end: start the daemon, submit a job
+#                   over HTTP, the response must be byte-identical to
+#                   fgstpbench stdout (uncached and cached), then
+#                   SIGTERM with a job in flight must drain gracefully
+#                   — the in-flight job finishes, the daemon exits 0
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -82,5 +87,43 @@ cmp "$tmp/nohb1.json" "$tmp/nohb4.json" || {
     echo "-hotblock=0 export differs between -jobs 1 and -jobs 4"; exit 1; }
 cmp "$tmp/export1.json" "$tmp/nohb1.json" || {
     echo "export differs between -hotblock on and off"; exit 1; }
+
+echo "== service smoke (fgstpd byte-identity, cache, graceful drain)"
+go build -o "$tmp/fgstpd" ./cmd/fgstpd
+"$tmp/fgstpd" serve -addr 127.0.0.1:0 -cache "$tmp/cache" \
+    -portfile "$tmp/fgstpd.port" 2>"$tmp/fgstpd.log" &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+i=0
+while [ ! -s "$tmp/fgstpd.port" ]; do
+    i=$((i+1))
+    [ "$i" -le 100 ] || { echo "fgstpd never wrote its portfile"; cat "$tmp/fgstpd.log"; exit 1; }
+    sleep 0.1
+done
+addr="$(cat "$tmp/fgstpd.port")"
+"$tmp/fgstpd" health -addr "$addr" >/dev/null
+"$tmp/fgstpd" submit -addr "$addr" -kind bench -experiment E2 -insts 3000 -format json \
+    >"$tmp/served1.json"
+cmp "$tmp/export1.json" "$tmp/served1.json" || {
+    echo "served response differs from fgstpbench stdout"; exit 1; }
+"$tmp/fgstpd" submit -addr "$addr" -kind bench -experiment E2 -insts 3000 -format json \
+    >"$tmp/served2.json"
+cmp "$tmp/served1.json" "$tmp/served2.json" || {
+    echo "cached response differs from uncached response"; exit 1; }
+# SIGTERM with a job in flight: the drain finishes the job (the client
+# receives a complete document) and the daemon exits 0.
+"$tmp/fgstpd" submit -addr "$addr" -kind bench -experiment E5 -insts 60000 -format json \
+    >"$tmp/inflight.json" &
+client=$!
+sleep 1
+kill -TERM "$daemon"
+wait "$client" || { echo "in-flight submit failed during drain"; exit 1; }
+status=0
+wait "$daemon" || status=$?
+trap 'rm -rf "$tmp"' EXIT
+[ "$status" -eq 0 ] || {
+    echo "fgstpd drain exited $status, want 0"; cat "$tmp/fgstpd.log"; exit 1; }
+go run ./scripts/jsoncheck <"$tmp/inflight.json"
+[ -s "$tmp/cache/index.json" ] || { echo "drained daemon left no cache index"; exit 1; }
 
 echo "check: ok"
