@@ -12,6 +12,8 @@
 //
 //	fgstpd [serve] [flags]     start the daemon (the default command)
 //	fgstpd submit [flags]      submit one job, stream the result to stdout
+//	fgstpd sweep [flags]       submit an experiments × insts matrix and
+//	                           render the result stream as units land
 //	fgstpd health [flags]      probe /healthz and /readyz
 //
 // Serve flags:
@@ -48,6 +50,25 @@
 // job completed with FAIL cells (the server's X-Fgstpd-Exit header),
 // 2 — the request failed (connection error or a structured error
 // response, printed to stderr).
+//
+// Sweep flags:
+//
+//	-addr url          daemon base URL (default http://127.0.0.1:8321)
+//	-tenant name       tenant identity for admission control
+//	-experiments list  comma-separated ids, "all" and/or "all+ext"
+//	                   (default all)
+//	-insts list        comma-separated instruction budgets
+//	                   (default 100000)
+//	-format name       text | json | csv (default json)
+//	-jobs n            per-unit simulation fan-out (0: server default)
+//	-timeout d         per-unit deadline override
+//	-dir path          write each unit document to
+//	                   <dir>/<experiment>-<insts>.<ext> instead of stdout
+//
+// The sweep client streams progress to stderr as unit records land and
+// completed documents to stdout (or -dir). Exit codes: 0 — every unit
+// clean, 1 — some unit degraded or failed, 2 — transport or protocol
+// error.
 package main
 
 import (
@@ -83,10 +104,12 @@ func run(args []string) int {
 		return serveCmd(args)
 	case "submit":
 		return submitCmd(args)
+	case "sweep":
+		return sweepCmd(args)
 	case "health":
 		return healthCmd(args)
 	default:
-		fmt.Fprintf(os.Stderr, "fgstpd: unknown command %q (want serve, submit or health)\n", cmd)
+		fmt.Fprintf(os.Stderr, "fgstpd: unknown command %q (want serve, submit, sweep or health)\n", cmd)
 		return 2
 	}
 }

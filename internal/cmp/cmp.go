@@ -29,6 +29,14 @@ import (
 // MUST bump this string, or stale cache entries will be served as
 // current results. Pure speedups proven byte-identical (cycle
 // skipping, hot-block replay) do not require a bump.
+//
+// Since PR 8 the store also memoises individual simulation *cells*
+// (one Run of one mode on one workload, as JSON-encoded stats.Run
+// documents composed back into rendered exports), so the rule covers
+// more than rendered bytes: any change that alters ANY counter or
+// cycle count of ANY (config, mode, trace) cell must bump, even if no
+// CLI export happens to render that counter — a stale cell entry would
+// be silently recomposed into fresh documents.
 const EngineVersion = "fgstp-engine/7"
 
 // Mode selects how the 2-core CMP executes a single thread.

@@ -106,6 +106,11 @@ type runner struct {
 	// rename the machine.
 	singles sched.Cache[string, stats.Run]
 	fusions sched.Cache[string, stats.Run]
+	// cell, when non-nil, intercepts every clean simulation cell in
+	// place of the direct engine call (see SetCellRunner in cells.go).
+	// Poisoned Fg-STP cells bypass it: degraded runs are never
+	// memoisable.
+	cell CellFunc
 }
 
 func newRunner(insts uint64, jobs int) *runner {
@@ -115,14 +120,14 @@ func newRunner(insts uint64, jobs int) *runner {
 // singleOf runs (and memoises, single-flight) the single-core baseline.
 func (r *runner) singleOf(m config.Machine, w workloads.Workload) (stats.Run, error) {
 	return r.singles.Do(m.Name+"/"+w.Name, func() (stats.Run, error) {
-		return cmp.Run(m, cmp.ModeSingle, r.traceOf(w))
+		return r.cellRun(m, cmp.ModeSingle, w)
 	})
 }
 
 // fusionOf runs (and memoises, single-flight) the Core Fusion baseline.
 func (r *runner) fusionOf(m config.Machine, w workloads.Workload) (stats.Run, error) {
 	return r.fusions.Do(m.Name+"/"+w.Name, func() (stats.Run, error) {
-		return cmp.Run(m, cmp.ModeFusion, r.traceOf(w))
+		return r.cellRun(m, cmp.ModeFusion, w)
 	})
 }
 
@@ -142,11 +147,10 @@ func (r *runner) traceOf(w workloads.Workload) *trace.Trace {
 // Session.Poison). The stall is per-run: injectors carry state, so
 // concurrent cells never share one.
 func (r *runner) fgstpOf(m config.Machine, w workloads.Workload) (stats.Run, error) {
-	var f cmp.Faults
 	if w.Name == r.poison {
-		f = faults.ChannelStall(0)
+		return cmp.RunFaulty(m, cmp.ModeFgSTP, r.traceOf(w), faults.ChannelStall(0))
 	}
-	return cmp.RunFaulty(m, cmp.ModeFgSTP, r.traceOf(w), f)
+	return r.cellRun(m, cmp.ModeFgSTP, w)
 }
 
 // runOf dispatches one (machine, mode, workload) simulation through

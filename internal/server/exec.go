@@ -26,8 +26,9 @@ const instsLimit = 10_000_000
 // BenchRequest is the /v1/bench job: one experiment (or "all") of the
 // paper evaluation, rendered exactly like `fgstpbench -format ...`.
 type BenchRequest struct {
-	// Experiment is an id (E1..E10, extensions E11/E12) or "all"
-	// (default), which runs the paper evaluation E1..E10.
+	// Experiment is an id (E1..E10, extensions E11/E12), "all" (default,
+	// the paper evaluation E1..E10) or "all+ext" (everything, extensions
+	// included).
 	Experiment string `json:"experiment,omitempty"`
 	// Insts is the per-simulation instruction budget (default 100000).
 	Insts uint64 `json:"insts,omitempty"`
@@ -54,18 +55,15 @@ func (q *BenchRequest) validate() error {
 	if q.Experiment == "" {
 		q.Experiment = "all"
 	}
-	if q.Experiment == "all" {
+	switch {
+	case q.Experiment == "all":
 		q.ids = experiments.IDs()
-	} else {
-		for _, id := range append(experiments.IDs(), experiments.ExtensionIDs()...) {
-			if id == q.Experiment {
-				q.ids = []string{id}
-				break
-			}
-		}
-		if q.ids == nil {
-			return fmt.Errorf("unknown experiment %q (want E1..E10, E11/E12 or \"all\")", q.Experiment)
-		}
+	case q.Experiment == "all+ext":
+		q.ids = experiments.AllIDs()
+	case experiments.ValidID(q.Experiment):
+		q.ids = []string{q.Experiment}
+	default:
+		return fmt.Errorf("unknown experiment %q (want E1..E10, E11/E12, \"all\" or \"all+ext\")", q.Experiment)
 	}
 	if q.Insts == 0 {
 		q.Insts = 100_000
@@ -259,10 +257,12 @@ type Executor interface {
 // engineExecutor runs jobs on the real simulation engine through the
 // exact rendering paths of the CLIs — experiments.WriteFormat for
 // bench, experiments.WriteSimFormat for sim — which is what makes
-// server responses byte-identical to fgstpbench/fgstpsim stdout.
-type engineExecutor struct{}
+// server responses byte-identical to fgstpbench/fgstpsim stdout. srv
+// (nil in tests that substitute executors elsewhere) supplies the cell
+// cache.
+type engineExecutor struct{ srv *Server }
 
-func (engineExecutor) Bench(ctx context.Context, req *BenchRequest) ([]byte, int, error) {
+func (e engineExecutor) Bench(ctx context.Context, req *BenchRequest) ([]byte, int, error) {
 	// A fresh session per request: sessions are single-goroutine (their
 	// trace/baseline caches are shared within one evaluation, which is
 	// exactly one request here), and per-request state is what keeps one
@@ -270,6 +270,14 @@ func (engineExecutor) Bench(ctx context.Context, req *BenchRequest) ([]byte, int
 	session := experiments.NewSession(req.Insts, req.Jobs)
 	if req.Inject != "" {
 		session.Poison(req.Inject)
+	}
+	// Compose the document from memoised cells: with the store open and
+	// no chaos drill armed, every clean simulation cell of this request
+	// is served from (or persisted to) the cell cache, so overlapping
+	// experiments and repeated sweeps share work below the document
+	// level.
+	if e.srv != nil && e.srv.cache != nil && req.Inject == "" {
+		session.SetCellRunner(e.srv.cellRunner(cellStatsFrom(ctx)))
 	}
 	failed := 0
 	results := make([]*experiments.Result, 0, len(req.ids))

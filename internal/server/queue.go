@@ -41,6 +41,7 @@ type queue struct {
 	order  []string
 	rr     int
 	total  int
+	peak   int // high-water mark of total, for /metricz
 	cap    int // per-tenant bound
 	shed   int // global watermark
 	closed bool
@@ -71,6 +72,9 @@ func (q *queue) enqueue(j *job) error {
 	}
 	q.perTenant[j.tenant] = append(q.perTenant[j.tenant], j)
 	q.total++
+	if q.total > q.peak {
+		q.peak = q.total
+	}
 	q.cond.Signal()
 	return nil
 }
@@ -89,7 +93,21 @@ func (q *queue) dequeue() (*job, bool) {
 				q.rr = (q.rr + 1) % len(q.order)
 				if jobs := q.perTenant[t]; len(jobs) > 0 {
 					j := jobs[0]
-					q.perTenant[t] = jobs[1:]
+					// Clear the vacated slot: the reslice below keeps the
+					// backing array alive, and a stale *job pins its
+					// captured request context and exec closure (and
+					// transitively the response payload) until the tenant's
+					// whole array turns over. Same retention shape as the
+					// PR 4 commit-stage fix.
+					jobs[0] = nil
+					if rest := jobs[1:]; len(rest) == 0 {
+						// Drained: drop the backing array entirely. A nil
+						// value still marks the tenant as seen for the
+						// enqueue-side order check.
+						q.perTenant[t] = nil
+					} else {
+						q.perTenant[t] = rest
+					}
 					q.total--
 					return j, true
 				}
@@ -122,4 +140,11 @@ func (q *queue) depth() (total, tenants int) {
 		}
 	}
 	return q.total, tenants
+}
+
+// peakDepth reports the highest total queue depth seen so far.
+func (q *queue) peakDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.peak
 }

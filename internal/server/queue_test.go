@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testJob(tenant string) *job {
+	return &job{tenant: tenant, done: make(chan struct{})}
+}
+
+// TestDequeueReleasesJobSlot is the leak regression for the reslice
+// retention bug: dequeue used to keep every dequeued *job reachable
+// through the per-tenant slice's backing array (pinning the job's
+// captured request context and exec closure) until the whole array
+// turned over — the same retention shape as the PR 4 commit-stage fix.
+func TestDequeueReleasesJobSlot(t *testing.T) {
+	q := newQueue(8, 32)
+	for i := 0; i < 3; i++ {
+		if err := q.enqueue(testJob("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capture the backing array through the live slice header before
+	// dequeue reslices it.
+	q.mu.Lock()
+	backing := q.perTenant["a"]
+	q.mu.Unlock()
+
+	if _, ok := q.dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if backing[0] != nil {
+		t.Fatal("dequeued job still reachable through the backing array (slot not cleared)")
+	}
+	if _, ok := q.dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if backing[1] != nil {
+		t.Fatal("second dequeued job still reachable through the backing array")
+	}
+	if _, ok := q.dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	q.mu.Lock()
+	jobs, seen := q.perTenant["a"]
+	orderLen := len(q.order)
+	q.mu.Unlock()
+	if !seen {
+		t.Fatal("drained tenant vanished from the map (breaks the enqueue-side seen check)")
+	}
+	if jobs != nil {
+		t.Fatal("drained tenant still holds a backing array")
+	}
+	// A drained-then-refilled tenant must not re-register in the
+	// round-robin order.
+	if err := q.enqueue(testJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	orderLenAfter := len(q.order)
+	q.mu.Unlock()
+	if orderLenAfter != orderLen {
+		t.Fatalf("re-enqueue grew the tenant order %d -> %d", orderLen, orderLenAfter)
+	}
+}
+
+// TestQueueRoundRobin pins the fairness order: one flooding tenant
+// cannot starve the others — dequeue rotates across tenants with
+// queued work.
+func TestQueueRoundRobin(t *testing.T) {
+	q := newQueue(8, 32)
+	seq := []string{"a", "a", "a", "b", "c"}
+	for _, tenant := range seq {
+		if err := q.enqueue(testJob(tenant)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a", "b", "c", "a", "a"}
+	for i, w := range want {
+		j, ok := q.dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+		if j.tenant != w {
+			t.Fatalf("dequeue %d = tenant %q, want %q (round-robin)", i, j.tenant, w)
+		}
+	}
+}
+
+// TestQueueChurn hammers enqueue/dequeue/close across many tenants
+// under the race detector: every admitted job must be dequeued exactly
+// once — close during blocked dequeues loses nothing — and no tenant
+// is starved while others drain.
+func TestQueueChurn(t *testing.T) {
+	const (
+		tenants   = 13
+		perTenant = 50
+		dequeuers = 4
+		queueCap  = 16
+		shed      = 1 << 30 // no global shedding in this test
+	)
+	q := newQueue(queueCap, shed)
+
+	var admitted, drained sync.Map // *job -> struct{}
+	var admittedN, drainedN, rejectedN int64
+	var countMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for d := 0; d < dequeuers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j, ok := q.dequeue()
+				if !ok {
+					return
+				}
+				if _, loaded := drained.LoadOrStore(j, struct{}{}); loaded {
+					t.Error("job dequeued twice")
+				}
+				countMu.Lock()
+				drainedN++
+				countMu.Unlock()
+			}
+		}()
+	}
+
+	var prod sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		prod.Add(1)
+		go func(tn int) {
+			defer prod.Done()
+			tenant := fmt.Sprintf("t%d", tn)
+			for i := 0; i < perTenant; i++ {
+				j := testJob(tenant)
+				err := q.enqueue(j)
+				switch err {
+				case nil:
+					admitted.Store(j, struct{}{})
+					countMu.Lock()
+					admittedN++
+					countMu.Unlock()
+				case errTenantFull:
+					countMu.Lock()
+					rejectedN++
+					countMu.Unlock()
+					time.Sleep(time.Millisecond) // backpressure: let the drain catch up
+				case errClosed:
+					return
+				default:
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}(tn)
+	}
+	prod.Wait()
+	q.close()
+	wg.Wait()
+
+	if admittedN != drainedN {
+		t.Fatalf("admitted %d jobs but drained %d (close lost admitted work)", admittedN, drainedN)
+	}
+	admitted.Range(func(k, _ any) bool {
+		if _, ok := drained.Load(k); !ok {
+			t.Error("admitted job never dequeued")
+			return false
+		}
+		return true
+	})
+	if total, tenantsLeft := q.depth(); total != 0 || tenantsLeft != 0 {
+		t.Fatalf("queue not empty after drain: total %d, tenants %d", total, tenantsLeft)
+	}
+	if q.peakDepth() <= 0 {
+		t.Fatal("peak depth never recorded")
+	}
+}
+
+// TestQueueCloseDuringBlockedDequeue pins the drain contract: workers
+// blocked in dequeue when close lands must first drain every admitted
+// job, and only then observe ok=false.
+func TestQueueCloseDuringBlockedDequeue(t *testing.T) {
+	q := newQueue(8, 32)
+	const workers = 3
+	got := make(chan *job, workers)
+	exited := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for {
+				j, ok := q.dequeue()
+				if !ok {
+					exited <- struct{}{}
+					return
+				}
+				got <- j
+			}
+		}()
+	}
+	// Let the workers block on the empty queue, then race one admitted
+	// job against close.
+	time.Sleep(10 * time.Millisecond)
+	j := testJob("a")
+	if err := q.enqueue(j); err != nil {
+		t.Fatal(err)
+	}
+	q.close()
+	select {
+	case dq := <-got:
+		if dq != j {
+			t.Fatal("dequeued a different job")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("admitted job lost: no worker received it after close")
+	}
+	for i := 0; i < workers; i++ {
+		select {
+		case <-exited:
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker never observed the closed queue")
+		}
+	}
+	if err := q.enqueue(testJob("b")); err != errClosed {
+		t.Fatalf("enqueue after close = %v, want errClosed", err)
+	}
+}

@@ -131,6 +131,17 @@ type Server struct {
 	nCacheHit  atomic.Int64
 	nCacheMiss atomic.Int64
 	nBypass    atomic.Int64
+
+	// Sweep and cell-cache counters (PR 8): sweeps counts /v1/sweep
+	// requests, units the cells of the request matrix, unit failures the
+	// units that ended non-200. The cell counters aggregate per-cell
+	// cache traffic across every request (bench and sweep alike).
+	nSweeps        atomic.Int64
+	nSweepUnits    atomic.Int64
+	nSweepUnitFail atomic.Int64
+	nCellRuns      atomic.Int64
+	nCellHits      atomic.Int64
+	nCellMisses    atomic.Int64
 }
 
 // New builds a server, opens the cache (if configured) and starts the
@@ -148,10 +159,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Minute
 	}
-	if cfg.Exec == nil {
-		cfg.Exec = engineExecutor{}
-	}
 	s := &Server{cfg: cfg, exec: cfg.Exec, q: newQueue(cfg.QueueCap, cfg.ShedMark)}
+	if s.exec == nil {
+		// The engine executor needs the server back-reference for the
+		// cell cache, so it is wired after construction.
+		s.exec = engineExecutor{srv: s}
+	}
 	if cfg.CacheDir != "" {
 		c, err := resultcache.Open(cfg.CacheDir)
 		if err != nil {
@@ -162,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/bench", s.handleBench)
 	s.mux.HandleFunc("/v1/sim", s.handleSim)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
@@ -554,9 +568,16 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	reg.Set("fgstpd_cache_hits", float64(s.nCacheHit.Load()))
 	reg.Set("fgstpd_cache_misses", float64(s.nCacheMiss.Load()))
 	reg.Set("fgstpd_cache_bypass", float64(s.nBypass.Load()))
+	reg.Set("fgstpd_sweeps", float64(s.nSweeps.Load()))
+	reg.Set("fgstpd_sweep_units", float64(s.nSweepUnits.Load()))
+	reg.Set("fgstpd_sweep_unit_failures", float64(s.nSweepUnitFail.Load()))
+	reg.Set("fgstpd_cell_runs", float64(s.nCellRuns.Load()))
+	reg.Set("fgstpd_cell_hits", float64(s.nCellHits.Load()))
+	reg.Set("fgstpd_cell_misses", float64(s.nCellMisses.Load()))
 	total, tenants := s.q.depth()
 	reg.Set("fgstpd_queue_depth", float64(total))
 	reg.Set("fgstpd_queue_tenants", float64(tenants))
+	reg.Set("fgstpd_queue_depth_peak", float64(s.q.peakDepth()))
 	if s.cache != nil {
 		st := s.cache.Stats()
 		reg.Set("fgstpd_store_hits", float64(st.Hits))

@@ -23,9 +23,12 @@
 #                   (replay is a pure speedup, never a result change)
 #   service smoke   fgstpd end to end: start the daemon, submit a job
 #                   over HTTP, the response must be byte-identical to
-#                   fgstpbench stdout (uncached and cached), then
-#                   SIGTERM with a job in flight must drain gracefully
-#                   — the in-flight job finishes, the daemon exits 0
+#                   fgstpbench stdout (uncached and cached); stream a
+#                   2-experiment sweep whose documents must equal the
+#                   fgstpbench exports, then re-run it and require the
+#                   whole sweep served from cache (zero cells run);
+#                   finally SIGTERM with a job in flight must drain
+#                   gracefully — the job finishes, the daemon exits 0
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -110,6 +113,27 @@ cmp "$tmp/export1.json" "$tmp/served1.json" || {
     >"$tmp/served2.json"
 cmp "$tmp/served1.json" "$tmp/served2.json" || {
     echo "cached response differs from uncached response"; exit 1; }
+# Sweep round-trip: every unit document must be byte-identical to the
+# fgstpbench stdout for the same experiment/insts, and a repeated sweep
+# must be served entirely from cache — zero cells recomputed.
+"$tmp/fgstpd" sweep -addr "$addr" -experiments E1,E2 -insts 3000 -format json \
+    -dir "$tmp/sweep1" 2>"$tmp/sweep1.log" || {
+    echo "sweep failed"; cat "$tmp/sweep1.log"; exit 1; }
+cmp "$tmp/export1.json" "$tmp/sweep1/E2-3000.json" || {
+    echo "sweep E2 document differs from fgstpbench stdout"; exit 1; }
+"$tmp/fgstpbench" -experiment E1 -insts 3000 -format json -jobs 1 \
+    >"$tmp/e1.json" 2>/dev/null
+cmp "$tmp/e1.json" "$tmp/sweep1/E1-3000.json" || {
+    echo "sweep E1 document differs from fgstpbench stdout"; exit 1; }
+"$tmp/fgstpd" sweep -addr "$addr" -experiments E1,E2 -insts 3000 -format json \
+    -dir "$tmp/sweep2" 2>"$tmp/sweep2.log" || {
+    echo "repeated sweep failed"; cat "$tmp/sweep2.log"; exit 1; }
+cmp "$tmp/sweep1/E1-3000.json" "$tmp/sweep2/E1-3000.json" || {
+    echo "repeated sweep E1 document differs"; exit 1; }
+cmp "$tmp/sweep1/E2-3000.json" "$tmp/sweep2/E2-3000.json" || {
+    echo "repeated sweep E2 document differs"; exit 1; }
+grep -q 'sweep done: .* cells run=0 hit=0 miss=0' "$tmp/sweep2.log" || {
+    echo "repeated sweep recomputed cells"; cat "$tmp/sweep2.log"; exit 1; }
 # SIGTERM with a job in flight: the drain finishes the job (the client
 # receives a complete document) and the daemon exits 0.
 "$tmp/fgstpd" submit -addr "$addr" -kind bench -experiment E5 -insts 60000 -format json \
