@@ -14,7 +14,10 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/cmp"
+	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/workloads"
 )
 
 // benchInsts is the per-simulation instruction budget for benchmark
@@ -99,4 +102,79 @@ func BenchmarkE9_StoreSets(b *testing.B) {
 // BenchmarkE10_SuiteSplit regenerates the SPECint/SPECfp breakdown.
 func BenchmarkE10_SuiteSplit(b *testing.B) {
 	runExperiment(b, "E10", "medium_int_fgstp_vs_fusion", "medium_fp_fgstp_vs_fusion")
+}
+
+// Sampled-simulation wall-clock: the checkpointed SimPoint estimate
+// against the full detailed run it replaces, on 10× extended traces of
+// the two longest-running kernels. The sampled side carries its whole
+// pipeline — BBV clustering, functional warming to the checkpoints,
+// and the parallel slice fan-out — so the ratio is the end-to-end cost
+// a -simpoint user pays. The PR 9 perf record pairs these entries:
+// SimpointSampled must finish in under 25% of SimpointFull.
+const (
+	simpointBenchInsts    = 1_000_000 // 10× the harness default budget
+	simpointBenchInterval = 10_000
+)
+
+// simpointBenchKernels are the longest kernels in the suite — the only
+// ones whose timed regions naturally run past the 10× budget (most
+// workloads terminate earlier and would clamp the trace).
+var simpointBenchKernels = []string{"calculix", "bwaves"}
+
+func simpointBenchSetup(b *testing.B, name string) (config.Machine, workloads.Workload) {
+	b.Helper()
+	m, err := config.ByName("medium")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatalf("workload %q not found", name)
+	}
+	return m, w
+}
+
+// BenchmarkSimpointFull is the baseline: a full detailed Fg-STP run
+// over the extended trace.
+func BenchmarkSimpointFull(b *testing.B) {
+	for _, name := range simpointBenchKernels {
+		b.Run(name, func(b *testing.B) {
+			m, w := simpointBenchSetup(b, name)
+			tr := w.Trace(simpointBenchInsts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cmp.Run(m, cmp.ModeFgSTP, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.IPC(), "ipc")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimpointSampled is the checkpointed sampled estimate of the
+// same run: representatives chosen, checkpoints captured, slices
+// simulated in parallel.
+func BenchmarkSimpointSampled(b *testing.B) {
+	for _, name := range simpointBenchKernels {
+		b.Run(name, func(b *testing.B) {
+			m, w := simpointBenchSetup(b, name)
+			tr := w.Trace(simpointBenchInsts)
+			p := experiments.SimpointParams{Interval: simpointBenchInterval, Warmup: -1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ests := experiments.SimpointEstimates(m, tr, []cmp.Mode{cmp.ModeFgSTP}, p)
+				if ests[0].Error != "" {
+					b.Fatal(ests[0].Error)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(ests[0].IPC, "ipc")
+					b.ReportMetric(float64(ests[0].SampledInsts)/float64(tr.Len()), "sampled_frac")
+				}
+			}
+		})
+	}
 }

@@ -13,11 +13,15 @@
 //	                 (default GOMAXPROCS; output is identical for any n)
 //	-format   name   output format: text | json | csv (default text)
 //	-config   file   JSON machine config overriding -machine
-//	-simpoint n      also estimate IPC by SimPoint sampling: slice the
-//	                 trace into n-instruction intervals, cluster them,
-//	                 simulate one representative per cluster (with one
-//	                 interval of warmup) and report the weighted IPC
-//	                 next to the full-run IPC (0 = off)
+//	-simpoint n      also estimate IPC by checkpointed SimPoint
+//	                 sampling: slice the trace into n-instruction
+//	                 intervals, cluster them, capture a warm checkpoint
+//	                 at each representative and simulate only
+//	                 warmup+interval instructions per point, in
+//	                 parallel. The weighted IPC and its 95% confidence
+//	                 interval join the report (json/csv carry a
+//	                 "simpoint" block) and the footer compares them
+//	                 against the full-run IPC (0 = off)
 //	-savetrace file  capture the workload trace to a file and exit
 //	-loadtrace file  replay a previously saved trace
 //	-tracejson file  write a Chrome trace-event file of the pipeline
@@ -58,7 +62,6 @@ import (
 	"repro/internal/hotblock"
 	"repro/internal/metrics"
 	"repro/internal/sched"
-	"repro/internal/simpoint"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -214,24 +217,19 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "fgstpsim: pipeline trace (%s mode) written to %s\n", traced, *traceJSON)
 	}
 
+	var ests []experiments.SimEstimate
 	if *simpointN > 0 {
-		// The sampled estimate validates the SimPoint methodology against
-		// the full run just computed: same trace, same modes, a fraction
-		// of the simulated instructions. Estimates go to the banner stream
-		// so json/csv stdout stays parseable.
-		for i, md := range modes {
-			if errs[i] != nil {
-				continue
-			}
-			ipc, points, err := simpointIPC(m, md, tr, *simpointN)
-			if err != nil {
-				fmt.Fprintf(banner, "simpoint [%s] FAILED: %v\n", md, err)
-				continue
-			}
-			full := runs[i].IPC()
-			fmt.Fprintf(banner, "simpoint [%s] interval %d, %d points: weighted IPC %.3f vs full %.3f (%+.1f%%)\n",
-				md, *simpointN, points, ipc, full, (ipc/full-1)*100)
-		}
+		// Checkpointed sampled estimates: one functional-warming pass per
+		// mode captures restartable snapshots at the chosen slices, then
+		// only warmup+interval instructions per representative simulate in
+		// detail, fanned out over the worker pool. The estimates join the
+		// report (fgstp.sim/1 carries them next to the full runs) and the
+		// footer compares them against the full-run IPC.
+		ests = experiments.SimpointEstimates(m, tr, modes, experiments.SimpointParams{
+			Interval: *simpointN,
+			Warmup:   -1,
+			Jobs:     *jobs,
+		})
 	}
 
 	failed := 0
@@ -240,8 +238,24 @@ func run() int {
 			failed++
 		}
 	}
-	if err := experiments.WriteSimFormat(os.Stdout, *format, m.Name, tr, modes, runs, errs); err != nil {
+	if err := experiments.WriteSimFormatEst(os.Stdout, *format, m.Name, tr, modes, runs, errs, ests); err != nil {
 		return fatal(err)
+	}
+	// The footer goes to the banner stream so json/csv stdout stays
+	// parseable.
+	for i := range ests {
+		e := &ests[i]
+		if e.Error != "" {
+			fmt.Fprintf(banner, "simpoint [%s] FAILED: %s\n", e.Mode, e.Error)
+			continue
+		}
+		line := fmt.Sprintf("simpoint [%s] interval %d, %d points: IPC %.3f ci=[%.3f, %.3f]",
+			e.Mode, e.Interval, e.Points, e.IPC, e.IPCLow, e.IPCHigh)
+		if errs[i] == nil {
+			full := runs[i].IPC()
+			line += fmt.Sprintf(" vs full %.3f (%+.1f%%)", full, (e.IPC/full-1)*100)
+		}
+		fmt.Fprintln(banner, line)
 	}
 	if *hotBlock {
 		printHotBlockFooter(hbCtrs, modes, runs, errs)
@@ -254,36 +268,6 @@ func run() int {
 		return 1
 	}
 	return 0
-}
-
-// simpointK caps the number of SimPoint clusters (and hence simulated
-// representatives); Choose clamps it to the interval count.
-const simpointK = 8
-
-// simpointIPC estimates the full trace's IPC for one mode from
-// SimPoint representatives: interval-sized slices chosen by clustering
-// execution signatures, each simulated with one interval of warmup and
-// weighted by its cluster's population.
-func simpointIPC(m config.Machine, md cmp.Mode, tr *trace.Trace, interval int) (float64, int, error) {
-	reps, err := simpoint.Choose(tr, interval, simpointK)
-	if err != nil {
-		return 0, 0, err
-	}
-	cpi, err := simpoint.EstimateCPI(reps, interval, interval, tr.Len(),
-		func(start, end int) (uint64, uint64, error) {
-			r, err := cmp.Run(m, md, tr.Slice(start, end))
-			if err != nil {
-				return 0, 0, err
-			}
-			return r.Cycles, r.Insts, nil
-		})
-	if err != nil {
-		return 0, 0, err
-	}
-	if cpi <= 0 {
-		return 0, 0, fmt.Errorf("simpoint: non-positive CPI %g", cpi)
-	}
-	return 1 / cpi, len(reps), nil
 }
 
 // writeChromeTrace records one instrumented run of md and writes the

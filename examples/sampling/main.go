@@ -53,7 +53,17 @@ func main() {
 	}
 	fmt.Println()
 
-	tb := stats.NewTable("full vs sampled CPI", "mode", "full CPI", "sampled CPI", "error")
+	slices, err := simpoint.Slices(reps, *interval, *warmup, tr.Len())
+	if err != nil {
+		log.Fatal(err)
+	}
+	boundaries := make([]int, len(slices))
+	for i, s := range slices {
+		boundaries[i] = s.WStart
+	}
+
+	tb := stats.NewTable("full vs sampled CPI", "mode", "full CPI", "sampled CPI", "error", "IPC 95% CI")
+	var sampledInsts uint64
 	for _, mode := range []cmp.Mode{cmp.ModeSingle, cmp.ModeFgSTP} {
 		full, err := cmp.Run(m, mode, tr)
 		if err != nil {
@@ -61,21 +71,23 @@ func main() {
 		}
 		fullCPI := float64(full.Cycles) / float64(full.Insts)
 
-		sim := func(start, end int) (uint64, uint64, error) {
-			run, err := cmp.Run(m, mode, tr.Slice(start, end))
-			if err != nil {
-				return 0, 0, err
-			}
-			return run.Cycles, run.Insts, nil
-		}
-		sampled, err := simpoint.EstimateCPI(reps, *interval, *warmup, tr.Len(), sim)
+		// One functional-warming pass captures a restartable checkpoint
+		// per slice; each point then simulates only warmup+interval
+		// instructions in detail, restored at its checkpoint.
+		sim, err := cmp.NewSliceSim(m, mode, tr, boundaries)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tb.AddRowf(string(mode), fullCPI, sampled,
-			fmt.Sprintf("%.1f%%", math.Abs(sampled-fullCPI)/fullCPI*100))
+		est, err := simpoint.EstimateCPI(reps, *interval, *warmup, tr.Len(), 0, sim.Run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampledInsts = est.SampledInsts
+		tb.AddRowf(string(mode), fullCPI, est.CPI,
+			fmt.Sprintf("%.1f%%", math.Abs(est.CPI-fullCPI)/fullCPI*100),
+			fmt.Sprintf("[%.3f, %.3f]", est.IPCLow, est.IPCHigh))
 	}
 	fmt.Print(tb.String())
-	fmt.Printf("\nsimulated %d of %d intervals (%.0f%% of the work)\n",
-		len(reps), total, float64(len(reps))/float64(total)*100)
+	fmt.Printf("\nsimulated %d of %d intervals in detail (%.0f%% of the instructions)\n",
+		len(reps), total, float64(sampledInsts)/float64(tr.Len())*100)
 }

@@ -1,0 +1,118 @@
+package bpred
+
+import "fmt"
+
+// State is a deep snapshot of a predictor's warm microarchitectural
+// state: every table a checkpoint must carry for timing fidelity
+// (direction counters, global history, BTB arrays, RAS) plus the
+// accuracy counters, so a restored predictor is indistinguishable from
+// one that observed the whole prefix itself. The configuration is NOT
+// part of the state — a State only restores into a predictor built
+// from the same Config (SetState validates the geometry).
+type State struct {
+	// Direction predictor tables; Gshare/Chooser are empty for kinds
+	// that do not use them.
+	Bimodal []uint8
+	Gshare  []uint8
+	Chooser []uint8
+	History uint64
+
+	// BTB arrays, way-major within a set (the btb layout).
+	BTBTags  []uint64
+	BTBTgts  []uint64
+	BTBValid []bool
+	BTBLRU   []uint8
+
+	// Return address stack: the circular buffer plus its cursor.
+	RASStack []uint64
+	RASTop   int
+	RASDepth int
+
+	// Accuracy counters.
+	DirLookups    uint64
+	DirMispredict uint64
+	TgtLookups    uint64
+	TgtMispredict uint64
+}
+
+// State returns a deep copy of the predictor's current state.
+func (p *Predictor) State() *State {
+	s := &State{
+		Bimodal:       counters2u8(p.bimodal),
+		Gshare:        counters2u8(p.gshare),
+		Chooser:       counters2u8(p.chooser),
+		History:       p.history,
+		BTBTags:       append([]uint64(nil), p.btb.tags...),
+		BTBTgts:       append([]uint64(nil), p.btb.tgts...),
+		BTBValid:      append([]bool(nil), p.btb.valid...),
+		BTBLRU:        append([]uint8(nil), p.btb.lru...),
+		RASStack:      append([]uint64(nil), p.ras.stack...),
+		RASTop:        p.ras.top,
+		RASDepth:      p.ras.depth,
+		DirLookups:    p.DirLookups,
+		DirMispredict: p.DirMispredict,
+		TgtLookups:    p.TgtLookups,
+		TgtMispredict: p.TgtMispredict,
+	}
+	return s
+}
+
+// SetState restores a snapshot taken from a predictor with the same
+// configuration; it reports an error when the snapshot's geometry does
+// not match this predictor's tables.
+func (p *Predictor) SetState(s *State) error {
+	if len(s.Bimodal) != len(p.bimodal) ||
+		len(s.Gshare) != len(p.gshare) ||
+		len(s.Chooser) != len(p.chooser) {
+		return fmt.Errorf("bpred: direction-table geometry mismatch (%d/%d/%d vs %d/%d/%d)",
+			len(s.Bimodal), len(s.Gshare), len(s.Chooser),
+			len(p.bimodal), len(p.gshare), len(p.chooser))
+	}
+	if len(s.BTBTags) != len(p.btb.tags) || len(s.BTBTgts) != len(p.btb.tgts) ||
+		len(s.BTBValid) != len(p.btb.valid) || len(s.BTBLRU) != len(p.btb.lru) {
+		return fmt.Errorf("bpred: BTB geometry mismatch (%d entries vs %d)",
+			len(s.BTBTags), len(p.btb.tags))
+	}
+	if len(s.RASStack) != len(p.ras.stack) {
+		return fmt.Errorf("bpred: RAS depth mismatch (%d vs %d)",
+			len(s.RASStack), len(p.ras.stack))
+	}
+	if s.RASTop < 0 || s.RASTop >= len(p.ras.stack) ||
+		s.RASDepth < 0 || s.RASDepth > len(p.ras.stack) {
+		return fmt.Errorf("bpred: RAS cursor %d/%d out of range for depth %d",
+			s.RASTop, s.RASDepth, len(p.ras.stack))
+	}
+	u82counters(p.bimodal, s.Bimodal)
+	u82counters(p.gshare, s.Gshare)
+	u82counters(p.chooser, s.Chooser)
+	p.history = s.History
+	copy(p.btb.tags, s.BTBTags)
+	copy(p.btb.tgts, s.BTBTgts)
+	copy(p.btb.valid, s.BTBValid)
+	copy(p.btb.lru, s.BTBLRU)
+	copy(p.ras.stack, s.RASStack)
+	p.ras.top = s.RASTop
+	p.ras.depth = s.RASDepth
+	p.DirLookups = s.DirLookups
+	p.DirMispredict = s.DirMispredict
+	p.TgtLookups = s.TgtLookups
+	p.TgtMispredict = s.TgtMispredict
+	return nil
+}
+
+func counters2u8(c []counter) []uint8 {
+	if c == nil {
+		return nil
+	}
+	out := make([]uint8, len(c))
+	for i, v := range c {
+		out[i] = uint8(v)
+	}
+	return out
+}
+
+func u82counters(dst []counter, src []uint8) {
+	for i, v := range src {
+		dst[i] = counter(v)
+	}
+}

@@ -1,0 +1,360 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bpred"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+)
+
+// Wire format: magic, then a uint32 format version, then the snapshot
+// fields in a fixed order with little-endian integers and
+// uint32-length-prefixed slices and strings. The encoding is
+// deterministic — the same snapshot always produces the same bytes — so
+// checkpoint files are content-addressable and diffable across runs.
+//
+// Versioning rule (mirrors cmp.EngineVersion): bump Version whenever
+// the byte layout of an existing field changes or a field is reordered;
+// appending new trailing fields also bumps (there is no
+// skip-unknown-fields provision — readers reject versions they do not
+// know). Decode refuses mismatched magic or version outright rather
+// than guessing.
+const (
+	Magic   = "fgstpckpt"
+	Version = uint32(1)
+)
+
+// maxElems bounds any single decoded slice, keeping a corrupt or
+// hostile length prefix from driving a huge allocation. 1<<28 elements
+// is far beyond any configured table (the largest real arrays are cache
+// tag arrays in the tens of thousands).
+const maxElems = 1 << 28
+
+type encoder struct {
+	buf bytes.Buffer
+}
+
+func (e *encoder) u8(v uint8)   { e.buf.WriteByte(v) }
+func (e *encoder) u32(v uint32) { e.buf.Write(binary.LittleEndian.AppendUint32(nil, v)) }
+func (e *encoder) u64(v uint64) { e.buf.Write(binary.LittleEndian.AppendUint64(nil, v)) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) u8s(v []uint8) {
+	e.u32(uint32(len(v)))
+	e.buf.Write(v)
+}
+
+func (e *encoder) u32s(v []uint32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(x)
+	}
+}
+
+func (e *encoder) u64s(v []uint64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u64(x)
+	}
+}
+
+func (e *encoder) bools(v []bool) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		if x {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("checkpoint: "+format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("truncated at offset %d (need %d of %d bytes)", d.off, n, len(d.b))
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *decoder) u8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *decoder) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (d *decoder) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// count reads a slice length prefix, bounding it so corrupt input
+// cannot force a huge allocation.
+func (d *decoder) count() int {
+	n := d.u32()
+	if n > maxElems {
+		d.fail("implausible element count %d", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) str() string {
+	return string(d.take(d.count()))
+}
+
+func (d *decoder) u8s() []uint8 {
+	p := d.take(d.count())
+	if p == nil {
+		return nil
+	}
+	return append([]uint8(nil), p...)
+}
+
+func (d *decoder) u32s() []uint32 {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out
+}
+
+func (d *decoder) u64s() []uint64 {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out
+}
+
+func (d *decoder) bools() []bool {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		switch d.u8() {
+		case 0:
+		case 1:
+			out[i] = true
+		default:
+			d.fail("bad bool at offset %d", d.off-1)
+		}
+	}
+	return out
+}
+
+// Encode serializes a snapshot to its deterministic wire form.
+func Encode(s *Snapshot) []byte {
+	e := &encoder{}
+	e.buf.WriteString(Magic)
+	e.u32(Version)
+
+	e.str(s.Mode)
+	e.u64(s.Pos)
+
+	e.u32(uint32(len(s.Preds)))
+	for _, p := range s.Preds {
+		encodePred(e, p)
+	}
+	e.u32(uint32(len(s.Caches)))
+	for i := range s.Caches {
+		encodeCache(e, &s.Caches[i])
+	}
+	e.u32(uint32(len(s.Hiers)))
+	for _, h := range s.Hiers {
+		e.u64(h.Prefetches)
+		e.u64(h.DRAMAccesses)
+	}
+	encodeDep(e, &s.Dep)
+	return append([]byte(nil), e.buf.Bytes()...)
+}
+
+func encodePred(e *encoder, p *bpred.State) {
+	e.u8s(p.Bimodal)
+	e.u8s(p.Gshare)
+	e.u8s(p.Chooser)
+	e.u64(p.History)
+	e.u64s(p.BTBTags)
+	e.u64s(p.BTBTgts)
+	e.bools(p.BTBValid)
+	e.u8s(p.BTBLRU)
+	e.u64s(p.RASStack)
+	e.u64(uint64(p.RASTop))
+	e.u64(uint64(p.RASDepth))
+	e.u64(p.DirLookups)
+	e.u64(p.DirMispredict)
+	e.u64(p.TgtLookups)
+	e.u64(p.TgtMispredict)
+}
+
+func encodeCache(e *encoder, c *mem.CacheState) {
+	e.u64s(c.Tags)
+	e.bools(c.Valid)
+	e.bools(c.Dirty)
+	e.u32s(c.Ages)
+	e.u32(c.Clock)
+	e.u64(c.Stats.Accesses)
+	e.u64(c.Stats.Misses)
+	e.u64(c.Stats.Evictions)
+	e.u64(c.Stats.Writebacks)
+	e.u64(c.Stats.Invalidates)
+}
+
+func encodeDep(e *encoder, d *ooo.DepPredState) {
+	e.u8s(d.Table)
+	e.u64(d.Ops)
+	e.u64(d.ClearAt)
+}
+
+// Decode parses the deterministic wire form back into a snapshot. It
+// rejects bad magic, unknown versions, truncation, and trailing bytes.
+func Decode(b []byte) (*Snapshot, error) {
+	d := &decoder{b: b}
+	if string(d.take(len(Magic))) != Magic {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("checkpoint: bad magic (not a checkpoint file)")
+	}
+	if v := d.u32(); d.err == nil && v != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (have %d)", v, Version)
+	}
+
+	s := &Snapshot{}
+	s.Mode = d.str()
+	s.Pos = d.u64()
+
+	n := d.count()
+	if d.err == nil && n > 0 {
+		s.Preds = make([]*bpred.State, n)
+		for i := range s.Preds {
+			s.Preds[i] = decodePred(d)
+		}
+	}
+	n = d.count()
+	if d.err == nil && n > 0 {
+		s.Caches = make([]mem.CacheState, n)
+		for i := range s.Caches {
+			s.Caches[i] = decodeCache(d)
+		}
+	}
+	n = d.count()
+	if d.err == nil && n > 0 {
+		s.Hiers = make([]HierCounters, n)
+		for i := range s.Hiers {
+			s.Hiers[i].Prefetches = d.u64()
+			s.Hiers[i].DRAMAccesses = d.u64()
+		}
+	}
+	s.Dep = decodeDep(d)
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after snapshot", len(d.b)-d.off)
+	}
+	return s, nil
+}
+
+func decodePred(d *decoder) *bpred.State {
+	p := &bpred.State{}
+	p.Bimodal = d.u8s()
+	p.Gshare = d.u8s()
+	p.Chooser = d.u8s()
+	p.History = d.u64()
+	p.BTBTags = d.u64s()
+	p.BTBTgts = d.u64s()
+	p.BTBValid = d.bools()
+	p.BTBLRU = d.u8s()
+	p.RASStack = d.u64s()
+	p.RASTop = decInt(d)
+	p.RASDepth = decInt(d)
+	p.DirLookups = d.u64()
+	p.DirMispredict = d.u64()
+	p.TgtLookups = d.u64()
+	p.TgtMispredict = d.u64()
+	return p
+}
+
+// decInt reads a cursor encoded as uint64; cursors are small
+// non-negative values, so anything above MaxInt32 marks corruption.
+func decInt(d *decoder) int {
+	v := d.u64()
+	if v > math.MaxInt32 {
+		d.fail("implausible cursor value %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+func decodeCache(d *decoder) mem.CacheState {
+	c := mem.CacheState{}
+	c.Tags = d.u64s()
+	c.Valid = d.bools()
+	c.Dirty = d.bools()
+	c.Ages = d.u32s()
+	c.Clock = d.u32()
+	c.Stats.Accesses = d.u64()
+	c.Stats.Misses = d.u64()
+	c.Stats.Evictions = d.u64()
+	c.Stats.Writebacks = d.u64()
+	c.Stats.Invalidates = d.u64()
+	return c
+}
+
+func decodeDep(d *decoder) ooo.DepPredState {
+	dep := ooo.DepPredState{}
+	dep.Table = d.u8s()
+	dep.Ops = d.u64()
+	dep.ClearAt = d.u64()
+	return dep
+}

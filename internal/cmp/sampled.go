@@ -1,0 +1,114 @@
+package cmp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/corefusion"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/trace"
+)
+
+// SliceSim runs detailed simulation of individual trace slices from
+// checkpoints: one functional-warming pass over the trace captures a
+// restartable snapshot at every requested boundary, then each Run
+// constructs a fresh machine *at* its slice's checkpoint and simulates
+// only the slice. Snapshots are immutable after construction and every
+// Run builds its own machine, so concurrent Runs (sampled slices fanned
+// out as independent sched jobs) are safe.
+type SliceSim struct {
+	m     config.Machine
+	mode  Mode
+	tr    *trace.Trace
+	snaps map[int]*checkpoint.Snapshot
+}
+
+// NewSliceSim captures checkpoints for the given slice boundaries
+// (warmup-start positions, in trace instructions) with a single
+// functional pass over tr in ascending-boundary order.
+func NewSliceSim(m config.Machine, mode Mode, tr *trace.Trace, boundaries []int) (*SliceSim, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := ParseMode(string(mode)); err != nil {
+		return nil, err
+	}
+	sorted := append([]int(nil), boundaries...)
+	sort.Ints(sorted)
+	if len(sorted) > 0 && sorted[0] < 0 {
+		return nil, fmt.Errorf("sampled: negative slice boundary %d", sorted[0])
+	}
+	snaps, err := checkpoint.Capture(m, string(mode), tr, sorted)
+	if err != nil {
+		return nil, err
+	}
+	return &SliceSim{m: m, mode: mode, tr: tr, snaps: snaps}, nil
+}
+
+// Run simulates the slice [wstart, end) in detail from the checkpoint
+// at wstart, treating [wstart, start) as warmup and [start, end) as the
+// measured region. It returns the measured region's cycle and
+// instruction counts. A boundary not captured at construction is an
+// error.
+func (s *SliceSim) Run(wstart, start, end int) (cycles, insts uint64, err error) {
+	if wstart > start || start >= end || end > s.tr.Len() {
+		return 0, 0, fmt.Errorf("sampled: bad slice %d/%d/%d (trace %d)", wstart, start, end, s.tr.Len())
+	}
+	snap, ok := s.snaps[wstart]
+	if !ok {
+		return 0, 0, fmt.Errorf("sampled: no checkpoint at %d", wstart)
+	}
+	sub := s.tr.Slice(wstart, end)
+	warmInsts := uint64(start - wstart)
+
+	var total, warmEnd int64
+	switch s.mode {
+	case ModeSingle:
+		hier, herr := mem.NewHierarchy(s.m.Hier)
+		if herr != nil {
+			return 0, 0, herr
+		}
+		hs, herr := snap.HierarchyState()
+		if herr != nil {
+			return 0, 0, herr
+		}
+		if herr := hier.SetState(hs); herr != nil {
+			return 0, 0, herr
+		}
+		c, herr := ooo.NewCoreAt(s.m.Core, hier, ooo.NewTraceStream(sub), nil, snap.CoreWarm())
+		if herr != nil {
+			return 0, 0, herr
+		}
+		total, warmEnd, err = ooo.DrainMeasured(c, sub.Len(), warmInsts)
+	case ModeFusion:
+		hs, herr := snap.HierarchyState()
+		if herr != nil {
+			return 0, 0, herr
+		}
+		c, _, herr := corefusion.NewFusedAt(s.m, sub, hs, snap.CoreWarm())
+		if herr != nil {
+			return 0, 0, herr
+		}
+		total, warmEnd, err = ooo.DrainMeasured(c, sub.Len(), warmInsts)
+	case ModeFgSTP:
+		warm, herr := snap.MachineWarm()
+		if herr != nil {
+			return 0, 0, herr
+		}
+		machine, herr := core.NewMachineAt(s.m, sub, warm)
+		if herr != nil {
+			return 0, 0, herr
+		}
+		total, warmEnd, err = machine.DrainMeasured(warmInsts)
+	default:
+		return 0, 0, fmt.Errorf("unknown mode %q", s.mode)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint64(total - warmEnd), uint64(end - start), nil
+}

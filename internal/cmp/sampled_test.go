@@ -1,0 +1,118 @@
+package cmp
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func sampledTestTrace(t *testing.T, insts uint64) *trace.Trace {
+	t.Helper()
+	w, ok := workloads.ByName("mcf")
+	if !ok {
+		t.Fatal("unknown workload mcf")
+	}
+	return w.Trace(insts)
+}
+
+// A slice spanning the whole trace from the checkpoint at position 0
+// (cold state, empty warmup) is exactly the continuous simulation: the
+// restore path must reproduce the full run's cycle and instruction
+// counts in every mode.
+func TestSliceSimFullSliceMatchesContinuousRun(t *testing.T) {
+	tr := sampledTestTrace(t, 20_000)
+	m, err := config.ByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range Modes() {
+		t.Run(string(mode), func(t *testing.T) {
+			full, err := Run(m, mode, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := NewSliceSim(m, mode, tr, []int{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles, insts, err := sim.Run(0, 0, tr.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cycles != full.Cycles || insts != full.Insts {
+				t.Errorf("restored run %d cycles/%d insts, continuous %d/%d",
+					cycles, insts, full.Cycles, full.Insts)
+			}
+		})
+	}
+}
+
+// A mid-trace checkpointed slice must behave sanely in every mode:
+// measured instructions exactly the slice length, positive cycle count,
+// and identical results on repeated runs from the same snapshot
+// (restores never mutate the snapshot).
+func TestSliceSimMidTraceRepeatable(t *testing.T) {
+	tr := sampledTestTrace(t, 20_000)
+	m, err := config.ByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wstart, start, end = 8_000, 10_000, 12_000
+	for _, mode := range Modes() {
+		t.Run(string(mode), func(t *testing.T) {
+			sim, err := NewSliceSim(m, mode, tr, []int{wstart})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c1, i1, err := sim.Run(wstart, start, end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i1 != end-start {
+				t.Errorf("measured %d instructions, want %d", i1, end-start)
+			}
+			if c1 == 0 {
+				t.Error("zero measured cycles")
+			}
+			c2, i2, err := sim.Run(wstart, start, end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c1 != c2 || i1 != i2 {
+				t.Errorf("repeat run diverged: %d/%d vs %d/%d", c2, i2, c1, i1)
+			}
+		})
+	}
+}
+
+func TestSliceSimErrors(t *testing.T) {
+	tr := sampledTestTrace(t, 5_000)
+	m, err := config.ByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSliceSim(m, Mode("warp"), tr, []int{0}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := NewSliceSim(m, ModeSingle, tr, []int{-5}); err == nil {
+		t.Error("negative boundary accepted")
+	}
+	sim, err := NewSliceSim(m, ModeSingle, tr, []int{1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sim.Run(2_000, 1_000, 3_000); err == nil {
+		t.Error("warmup start after measured start accepted")
+	}
+	if _, _, err := sim.Run(1_000, 3_000, 3_000); err == nil {
+		t.Error("empty measured region accepted")
+	}
+	if _, _, err := sim.Run(1_000, 2_000, tr.Len()+1); err == nil {
+		t.Error("slice past trace end accepted")
+	}
+	if _, _, err := sim.Run(500, 1_000, 2_000); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}

@@ -71,17 +71,48 @@ func RunInstrumented(m config.Machine, tr *trace.Trace, sink metrics.Sink) (stat
 	return RunWith(m, tr, ooo.RunOptions{Sink: sink})
 }
 
+// NewFused assembles the fused machine over a captured trace: the
+// double-width two-cluster core and its banked double-capacity L1
+// hierarchy. Callers that need drain control beyond RunWith (sampled
+// slice simulation, checkpoint restore) build through here.
+func NewFused(m config.Machine, tr *trace.Trace) (*ooo.Core, *mem.Hierarchy, error) {
+	hier, err := mem.NewHierarchy(FusedHierarchy(m))
+	if err != nil {
+		return nil, nil, err
+	}
+	core, err := ooo.NewCore(FusedConfig(m), hier, ooo.NewTraceStream(tr), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core, hier, nil
+}
+
+// NewFusedAt builds the fused machine constructed *at* a checkpoint:
+// the hierarchy restored from hs and the core's predictor and
+// dependence-predictor tables from warm (see ooo.NewCoreAt). Nil
+// snapshots leave the corresponding component cold.
+func NewFusedAt(m config.Machine, tr *trace.Trace, hs *mem.HierarchyState, warm *ooo.WarmState) (*ooo.Core, *mem.Hierarchy, error) {
+	core, hier, err := NewFused(m, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hs != nil {
+		if err := hier.SetState(hs); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := core.Restore(warm); err != nil {
+		return nil, nil, err
+	}
+	return core, hier, nil
+}
+
 // RunWith simulates like Run under the full option set: event sink and
 // hot-block memoization knobs. The fused machine is a single ooo.Core
 // with two clusters and no cross-core hooks, so it is replay-eligible
 // exactly like the single-core baseline.
 func RunWith(m config.Machine, tr *trace.Trace, opts ooo.RunOptions) (stats.Run, error) {
-	cfg := FusedConfig(m)
-	hier, err := mem.NewHierarchy(FusedHierarchy(m))
-	if err != nil {
-		return stats.Run{}, err
-	}
-	core, err := ooo.NewCore(cfg, hier, ooo.NewTraceStream(tr), nil)
+	core, _, err := NewFused(m, tr)
 	if err != nil {
 		return stats.Run{}, err
 	}

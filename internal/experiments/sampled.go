@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"repro/internal/cmp"
+	"repro/internal/config"
+	"repro/internal/simpoint"
+	"repro/internal/trace"
+)
+
+// DefaultSimpointK is the number of clusters a sampled run asks of
+// k-means when the caller does not choose one; k-means may merge down
+// from it on short or phase-poor traces.
+const DefaultSimpointK = 8
+
+// SimpointParams bundles the knobs of a checkpointed sampled run.
+type SimpointParams struct {
+	// Interval is the SimPoint interval length in instructions.
+	Interval int
+	// K is the cluster-count request; <= 0 picks DefaultSimpointK.
+	K int
+	// Warmup is the detailed-warmup length in instructions; < 0 picks
+	// one full interval (the standard choice — long enough to absorb
+	// residual cold-start state the functional warmer cannot model).
+	Warmup int
+	// Jobs caps the per-mode slice fan-out; <= 0 picks GOMAXPROCS.
+	Jobs int
+}
+
+func (p SimpointParams) k() int {
+	if p.K <= 0 {
+		return DefaultSimpointK
+	}
+	return p.K
+}
+
+func (p SimpointParams) warmup() int {
+	if p.Warmup < 0 {
+		return p.Interval
+	}
+	return p.Warmup
+}
+
+// SimEstimate is one mode's sampled whole-trace estimate as exported in
+// the fgstp.sim/1 document: the weighted IPC point estimate with its
+// 95% confidence interval, plus the sampling parameters that produced
+// it. A failed mode carries an error string instead of numbers.
+type SimEstimate struct {
+	Mode         string  `json:"mode"`
+	Error        string  `json:"error,omitempty"`
+	Interval     int     `json:"interval"`
+	Warmup       int     `json:"warmup"`
+	Points       int     `json:"points,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"`
+	IPCLow       float64 `json:"ipc_ci_low,omitempty"`
+	IPCHigh      float64 `json:"ipc_ci_high,omitempty"`
+	SampledInsts uint64  `json:"sampled_insts,omitempty"`
+	TraceInsts   uint64  `json:"trace_insts,omitempty"`
+}
+
+// SimpointEstimates produces one sampled estimate per mode: SimPoint
+// representative selection once over the trace (the signature pipeline
+// is mode-independent), then per mode a checkpoint capture pass and the
+// parallel slice fan-out of simpoint.EstimateCPI. Per-mode failures are
+// recorded in the estimate rather than aborting the sweep, mirroring
+// how SimJobs reports mode failures.
+func SimpointEstimates(m config.Machine, tr *trace.Trace, modes []cmp.Mode, p SimpointParams) []SimEstimate {
+	out := make([]SimEstimate, len(modes))
+	for i, md := range modes {
+		out[i] = SimEstimate{Mode: string(md), Interval: p.Interval, Warmup: p.warmup()}
+	}
+	reps, err := simpoint.Choose(tr, p.Interval, p.k())
+	if err != nil {
+		for i := range out {
+			out[i].Error = err.Error()
+		}
+		return out
+	}
+	slices, err := simpoint.Slices(reps, p.Interval, p.warmup(), tr.Len())
+	if err != nil {
+		for i := range out {
+			out[i].Error = err.Error()
+		}
+		return out
+	}
+	boundaries := make([]int, len(slices))
+	for i, s := range slices {
+		boundaries[i] = s.WStart
+	}
+	for i, md := range modes {
+		sim, err := cmp.NewSliceSim(m, md, tr, boundaries)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		est, err := simpoint.EstimateCPI(reps, p.Interval, p.warmup(), tr.Len(), p.Jobs, sim.Run)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		out[i].Points = est.Points
+		out[i].IPC = est.IPC
+		out[i].IPCLow = est.IPCLow
+		out[i].IPCHigh = est.IPCHigh
+		out[i].SampledInsts = est.SampledInsts
+		out[i].TraceInsts = est.TraceInsts
+	}
+	return out
+}

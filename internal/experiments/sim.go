@@ -56,18 +56,27 @@ func SimJobs(m config.Machine, tr *trace.Trace, modes []cmp.Mode, inject string)
 // WriteSimJSON emits the runs as one fgstp.sim/1 JSON document; failed
 // modes carry an error string instead of a run.
 func WriteSimJSON(w io.Writer, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	return WriteSimJSONEst(w, machine, tr, modes, runs, errs, nil)
+}
+
+// WriteSimJSONEst is WriteSimJSON plus the sampled estimates block.
+// With no estimates the document is byte-identical to WriteSimJSON's
+// (the field is omitted entirely), which keeps non-sampled runs stable
+// across the schema's life.
+func WriteSimJSONEst(w io.Writer, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error, ests []SimEstimate) error {
 	type modeResult struct {
 		Mode  string     `json:"mode"`
 		Error string     `json:"error,omitempty"`
 		Run   *stats.Run `json:"run,omitempty"`
 	}
 	doc := struct {
-		Schema   string       `json:"schema"`
-		Workload string       `json:"workload"`
-		Machine  string       `json:"machine"`
-		Insts    int          `json:"insts"`
-		Results  []modeResult `json:"results"`
-	}{Schema: SimSchemaVersion, Workload: tr.Name, Machine: machine, Insts: tr.Len()}
+		Schema   string        `json:"schema"`
+		Workload string        `json:"workload"`
+		Machine  string        `json:"machine"`
+		Insts    int           `json:"insts"`
+		Results  []modeResult  `json:"results"`
+		Simpoint []SimEstimate `json:"simpoint,omitempty"`
+	}{Schema: SimSchemaVersion, Workload: tr.Name, Machine: machine, Insts: tr.Len(), Simpoint: ests}
 	for i, md := range modes {
 		mr := modeResult{Mode: string(md)}
 		if errs[i] != nil {
@@ -89,6 +98,13 @@ func WriteSimJSON(w io.Writer, machine string, tr *trace.Trace, modes []cmp.Mode
 // WriteSimCSV emits one summary record per mode plus one record per
 // metric, mirroring the bench tool's flat-record CSV shape.
 func WriteSimCSV(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	return WriteSimCSVEst(w, modes, runs, errs, nil)
+}
+
+// WriteSimCSVEst is WriteSimCSV plus one trailing "simpoint" record per
+// sampled estimate; with no estimates the output is byte-identical to
+// WriteSimCSV's.
+func WriteSimCSVEst(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error, ests []SimEstimate) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"schema", SimSchemaVersion}); err != nil {
 		return err
@@ -115,6 +131,24 @@ func WriteSimCSV(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error) 
 			}
 		}
 	}
+	for i := range ests {
+		e := &ests[i]
+		if e.Error != "" {
+			if err := cw.Write([]string{e.Mode, "simpoint", "error", e.Error}); err != nil {
+				return err
+			}
+			continue
+		}
+		rec := []string{e.Mode, "simpoint",
+			strconv.Itoa(e.Interval), strconv.Itoa(e.Warmup), strconv.Itoa(e.Points),
+			strconv.FormatFloat(e.IPC, 'g', -1, 64),
+			strconv.FormatFloat(e.IPCLow, 'g', -1, 64),
+			strconv.FormatFloat(e.IPCHigh, 'g', -1, 64),
+			strconv.FormatUint(e.SampledInsts, 10)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
 	cw.Flush()
 	return cw.Error()
 }
@@ -123,6 +157,13 @@ func WriteSimCSV(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error) 
 // (FAILED line for a failed mode) and, when several modes ran, the
 // speedup comparison against the first.
 func WriteSimText(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	return WriteSimTextEst(w, modes, runs, errs, nil)
+}
+
+// WriteSimTextEst is WriteSimText plus a trailing sampled-estimates
+// block; with no estimates the output is byte-identical to
+// WriteSimText's.
+func WriteSimTextEst(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error, ests []SimEstimate) error {
 	for i := range runs {
 		if errs[i] != nil {
 			if _, err := fmt.Fprintf(w, "[%s] FAILED: %v\n\n", modes[i], errs[i]); err != nil {
@@ -161,19 +202,44 @@ func WriteSimText(w io.Writer, modes []cmp.Mode, runs []stats.Run, errs []error)
 			}
 		}
 	}
+	if len(ests) > 0 {
+		if _, err := fmt.Fprintf(w, "\nsampled estimates (interval=%d warmup=%d):\n",
+			ests[0].Interval, ests[0].Warmup); err != nil {
+			return err
+		}
+		for i := range ests {
+			e := &ests[i]
+			if e.Error != "" {
+				if _, err := fmt.Fprintf(w, "  %-12s FAILED: %s\n", e.Mode, e.Error); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %-12s IPC=%.3f ci=[%.3f, %.3f] points=%d sampled=%d/%d\n",
+				e.Mode, e.IPC, e.IPCLow, e.IPCHigh, e.Points, e.SampledInsts, e.TraceInsts); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
 // WriteSimFormat renders a simulation report in the named format
 // ("text", "json" or "csv") to w.
 func WriteSimFormat(w io.Writer, format, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error) error {
+	return WriteSimFormatEst(w, format, machine, tr, modes, runs, errs, nil)
+}
+
+// WriteSimFormatEst renders a simulation report with sampled estimates
+// attached; nil estimates reproduce WriteSimFormat byte for byte.
+func WriteSimFormatEst(w io.Writer, format, machine string, tr *trace.Trace, modes []cmp.Mode, runs []stats.Run, errs []error, ests []SimEstimate) error {
 	switch format {
 	case "text":
-		return WriteSimText(w, modes, runs, errs)
+		return WriteSimTextEst(w, modes, runs, errs, ests)
 	case "json":
-		return WriteSimJSON(w, machine, tr, modes, runs, errs)
+		return WriteSimJSONEst(w, machine, tr, modes, runs, errs, ests)
 	case "csv":
-		return WriteSimCSV(w, modes, runs, errs)
+		return WriteSimCSVEst(w, modes, runs, errs, ests)
 	default:
 		return fmt.Errorf("unknown format %q (want text, json or csv)", format)
 	}

@@ -1,0 +1,90 @@
+package mem
+
+import "fmt"
+
+// CacheState is a deep snapshot of one cache's warm state: the tag,
+// valid, dirty and LRU-age arrays (way-major within a set, the lines
+// layout), the LRU clock and the traffic counters. Geometry is NOT part
+// of the state — a CacheState only restores into a cache built from the
+// same CacheConfig (SetState validates the line count).
+type CacheState struct {
+	Tags  []uint64
+	Valid []bool
+	Dirty []bool
+	Ages  []uint32
+	Clock uint32
+	Stats CacheStats
+}
+
+// State returns a deep copy of the cache's current state.
+func (c *Cache) State() CacheState {
+	s := CacheState{
+		Tags:  make([]uint64, len(c.lines)),
+		Valid: make([]bool, len(c.lines)),
+		Dirty: make([]bool, len(c.lines)),
+		Ages:  make([]uint32, len(c.lines)),
+		Clock: c.clock,
+		Stats: c.Stats,
+	}
+	for i := range c.lines {
+		s.Tags[i] = c.lines[i].tag
+		s.Valid[i] = c.lines[i].valid
+		s.Dirty[i] = c.lines[i].dirty
+		s.Ages[i] = c.lines[i].age
+	}
+	return s
+}
+
+// SetState restores a snapshot taken from a cache with the same
+// geometry; it reports an error on a line-count mismatch.
+func (c *Cache) SetState(s *CacheState) error {
+	if len(s.Tags) != len(c.lines) || len(s.Valid) != len(c.lines) ||
+		len(s.Dirty) != len(c.lines) || len(s.Ages) != len(c.lines) {
+		return fmt.Errorf("cache %s: state geometry mismatch (%d lines vs %d)",
+			c.cfg.Name, len(s.Tags), len(c.lines))
+	}
+	for i := range c.lines {
+		c.lines[i] = line{tag: s.Tags[i], valid: s.Valid[i], dirty: s.Dirty[i], age: s.Ages[i]}
+	}
+	c.clock = s.Clock
+	c.Stats = s.Stats
+	return nil
+}
+
+// HierarchyState is a deep snapshot of a private hierarchy's warm
+// state: all three cache levels plus the hierarchy-level counters. For
+// a shared-L2 pair, compose cache-level states instead and apply the L2
+// once (both hierarchies alias one cache).
+type HierarchyState struct {
+	L1I, L1D, L2 CacheState
+	Prefetches   uint64
+	DRAMAccesses uint64
+}
+
+// State returns a deep copy of the hierarchy's current state.
+func (h *Hierarchy) State() HierarchyState {
+	return HierarchyState{
+		L1I:          h.L1I.State(),
+		L1D:          h.L1D.State(),
+		L2:           h.L2.State(),
+		Prefetches:   h.Prefetches,
+		DRAMAccesses: h.DRAMAccesses,
+	}
+}
+
+// SetState restores a snapshot taken from a hierarchy with the same
+// configuration.
+func (h *Hierarchy) SetState(s *HierarchyState) error {
+	if err := h.L1I.SetState(&s.L1I); err != nil {
+		return err
+	}
+	if err := h.L1D.SetState(&s.L1D); err != nil {
+		return err
+	}
+	if err := h.L2.SetState(&s.L2); err != nil {
+		return err
+	}
+	h.Prefetches = s.Prefetches
+	h.DRAMAccesses = s.DRAMAccesses
+	return nil
+}

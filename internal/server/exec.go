@@ -136,6 +136,12 @@ type SimRequest struct {
 	// inter-core channel, "panic" panics inside the engine (contained by
 	// the scheduler). Requires chaos enabled server-side; never cached.
 	Inject string `json:"inject,omitempty"`
+	// SimpointInterval, when positive, adds checkpointed SimPoint
+	// sampled estimates (weighted IPC with a 95% confidence interval,
+	// one per mode) to the response, exactly like `fgstpsim -simpoint`.
+	// Sampling parameters are part of the cache key, so sampled and
+	// plain runs of the same request never alias.
+	SimpointInterval int `json:"simpoint_interval,omitempty"`
 	// TimeoutMillis overrides the per-job deadline, clamped to the
 	// server's maximum (0 = server default).
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
@@ -144,6 +150,12 @@ type SimRequest struct {
 	tr    *trace.Trace
 	modes []cmp.Mode
 }
+
+// simpointIntervalFloor is the smallest interval a request may sample
+// with: clustering cost grows with the interval count, and a
+// multi-tenant daemon must not let one request buy an unbounded k-means
+// on a maximum-length trace with a one-instruction interval.
+const simpointIntervalFloor = 1000
 
 // validate normalises defaults, resolves the machine and captures the
 // workload trace (deterministic, so safe to do before admission — the
@@ -205,6 +217,14 @@ func (q *SimRequest) validate() error {
 	default:
 		return fmt.Errorf("unknown fault %q for inject (want \"livelock\" or \"panic\")", q.Inject)
 	}
+	if q.SimpointInterval != 0 {
+		if q.SimpointInterval < simpointIntervalFloor {
+			return fmt.Errorf("simpoint_interval %d below the minimum %d", q.SimpointInterval, simpointIntervalFloor)
+		}
+		if uint64(q.SimpointInterval) > q.Insts {
+			return fmt.Errorf("simpoint_interval %d exceeds insts %d", q.SimpointInterval, q.Insts)
+		}
+	}
 	if q.TimeoutMillis < 0 {
 		return fmt.Errorf("negative timeout_ms %d", q.TimeoutMillis)
 	}
@@ -219,7 +239,9 @@ func (q *SimRequest) cacheable() bool { return q.Inject == "" }
 
 // cacheKey content-addresses the request over the exact inputs of the
 // simulation: engine version, canonical machine config and the captured
-// trace bytes, plus the mode/format parameters.
+// trace bytes, plus the mode/format/sampling parameters. The sampling
+// interval is a key component: a sampled response carries estimates a
+// plain run's does not, so the two must never share a cache entry.
 func (q *SimRequest) cacheKey() (string, error) {
 	cfg, err := q.m.ToJSON()
 	if err != nil {
@@ -230,7 +252,8 @@ func (q *SimRequest) cacheKey() (string, error) {
 		return "", err
 	}
 	return resultcache.Key(cmp.EngineVersion, cfg, tb.Bytes(),
-		"sim", q.Mode, strconv.FormatUint(q.Insts, 10), q.Format, q.Inject), nil
+		"sim", q.Mode, strconv.FormatUint(q.Insts, 10), q.Format, q.Inject,
+		strconv.Itoa(q.SimpointInterval)), nil
 }
 
 func validFormat(f string) bool {
@@ -328,8 +351,19 @@ func (engineExecutor) Sim(ctx context.Context, req *SimRequest) ([]byte, int, er
 		}
 		return nil, 0, firstErr
 	}
+	var ests []experiments.SimEstimate
+	if req.SimpointInterval > 0 {
+		// Each slice simulation is bounded by the livelock watchdog and
+		// the functional pass is linear in the trace, so the estimate
+		// sweep cannot outlive the deadline by more than one slice.
+		ests = experiments.SimpointEstimates(req.m, req.tr, req.modes, experiments.SimpointParams{
+			Interval: req.SimpointInterval,
+			Warmup:   -1,
+			Jobs:     req.Jobs,
+		})
+	}
 	var buf bytes.Buffer
-	if err := experiments.WriteSimFormat(&buf, req.Format, req.m.Name, req.tr, req.modes, runs, errs); err != nil {
+	if err := experiments.WriteSimFormatEst(&buf, req.Format, req.m.Name, req.tr, req.modes, runs, errs, ests); err != nil {
 		return nil, 0, err
 	}
 	exit := 0

@@ -195,6 +195,65 @@ func TestSimByteIdentity(t *testing.T) {
 	}
 }
 
+// TestSimSampledEstimates: a sim request with simpoint_interval set
+// carries the per-mode sampled estimates in its document, and sampled
+// requests never share a cache entry with plain ones (the interval is a
+// cache-key component).
+func TestSimSampledEstimates(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	sampled := SimRequest{Workload: "mcf", Machine: "small", Insts: 4000, Format: "json", SimpointInterval: 1000}
+
+	first := post(t, s, "/v1/sim", "a", sampled)
+	if first.Code != http.StatusOK {
+		t.Fatalf("sampled request: %d\n%s", first.Code, first.Body.String())
+	}
+	var doc struct {
+		Simpoint []experiments.SimEstimate `json:"simpoint"`
+	}
+	if err := json.Unmarshal(first.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Simpoint) != len(cmp.Modes()) {
+		t.Fatalf("%d estimates, want %d", len(doc.Simpoint), len(cmp.Modes()))
+	}
+	for _, e := range doc.Simpoint {
+		if e.Error != "" {
+			t.Errorf("estimate for %s failed: %s", e.Mode, e.Error)
+			continue
+		}
+		if !(e.IPC > 0) || !(e.IPCLow > 0) || e.IPCLow > e.IPC || e.IPCHigh < e.IPC {
+			t.Errorf("estimate for %s malformed: ipc %g ci [%g, %g]", e.Mode, e.IPC, e.IPCLow, e.IPCHigh)
+		}
+		if e.Interval != 1000 || e.Points < 1 {
+			t.Errorf("estimate for %s: interval %d points %d", e.Mode, e.Interval, e.Points)
+		}
+	}
+
+	// The equivalent plain request must miss the cache: its key differs
+	// from the sampled request's.
+	plain := SimRequest{Workload: "mcf", Machine: "small", Insts: 4000, Format: "json"}
+	resp := post(t, s, "/v1/sim", "a", plain)
+	if resp.Code != http.StatusOK {
+		t.Fatalf("plain request: %d", resp.Code)
+	}
+	if c := resp.Header().Get(HeaderCache); c != "miss" {
+		t.Errorf("plain request after sampled request: cache %q, want miss", c)
+	}
+	if bytes.Equal(resp.Body.Bytes(), first.Body.Bytes()) {
+		t.Error("plain response identical to sampled response")
+	}
+
+	// A repeat of the sampled request is served from the cache,
+	// byte-identical.
+	repeat := post(t, s, "/v1/sim", "b", sampled)
+	if c := repeat.Header().Get(HeaderCache); c != "hit" {
+		t.Errorf("sampled repeat: cache %q, want hit", c)
+	}
+	if !bytes.Equal(repeat.Body.Bytes(), first.Body.Bytes()) {
+		t.Error("cached sampled response differs from uncached")
+	}
+}
+
 func TestValidationErrors(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, Exec: instantExec{}})
 	cases := []struct {
@@ -210,6 +269,9 @@ func TestValidationErrors(t *testing.T) {
 		{"unknown workload", "/v1/sim", SimRequest{Workload: "nope"}, http.StatusBadRequest, "invalid"},
 		{"unknown mode", "/v1/sim", SimRequest{Mode: "turbo", Insts: 100}, http.StatusBadRequest, "invalid"},
 		{"unknown fault", "/v1/sim", SimRequest{Inject: "gremlins", Insts: 100}, http.StatusBadRequest, "invalid"},
+		{"simpoint interval negative", "/v1/sim", SimRequest{Insts: 5000, SimpointInterval: -1}, http.StatusBadRequest, "invalid"},
+		{"simpoint interval below floor", "/v1/sim", SimRequest{Insts: 5000, SimpointInterval: simpointIntervalFloor - 1}, http.StatusBadRequest, "invalid"},
+		{"simpoint interval over insts", "/v1/sim", SimRequest{Insts: 5000, SimpointInterval: 6000}, http.StatusBadRequest, "invalid"},
 		{"chaos disabled", "/v1/sim", SimRequest{Inject: "livelock", Insts: 100}, http.StatusForbidden, "chaos_disabled"},
 		{"unknown field", "/v1/bench", map[string]any{"experiments": "E1"}, http.StatusBadRequest, "invalid"},
 	}

@@ -219,48 +219,5 @@ func WeightedCPI(reps []Representative, cycles []uint64, insts []uint64) (float6
 	return cpi, nil
 }
 
-// SimulateFn runs the timing model over trace instructions [start, end)
-// and returns (cycles, instructions committed).
-type SimulateFn func(start, end int) (uint64, uint64, error)
-
-// EstimateCPI estimates the full trace's CPI from the representatives
-// with cold-start correction: each point is simulated twice, once over
-// [start-warmup, end) and once over [start-warmup, start), and the
-// interval's cost is the difference — the warmup run absorbs the
-// cold-cache and cold-predictor bias that otherwise inflates short
-// samples. warmup 0 degenerates to plain sampling.
-func EstimateCPI(reps []Representative, intervalInsts, warmup, traceLen int, sim SimulateFn) (float64, error) {
-	if sim == nil {
-		return 0, fmt.Errorf("simpoint: nil simulate function")
-	}
-	cpi := 0.0
-	for _, r := range reps {
-		begin := r.Start - warmup
-		if begin < 0 {
-			begin = 0
-		}
-		end := r.Start + intervalInsts
-		if end > traceLen {
-			end = traceLen
-		}
-		if end <= r.Start {
-			return 0, fmt.Errorf("simpoint: empty representative at %d", r.Start)
-		}
-		extCycles, _, err := sim(begin, end)
-		if err != nil {
-			return 0, err
-		}
-		var warmCycles uint64
-		if begin < r.Start {
-			warmCycles, _, err = sim(begin, r.Start)
-			if err != nil {
-				return 0, err
-			}
-		}
-		if extCycles < warmCycles {
-			warmCycles = extCycles
-		}
-		cpi += r.Weight * float64(extCycles-warmCycles) / float64(end-r.Start)
-	}
-	return cpi, nil
-}
+// EstimateCPI (checkpointed sampling over the chosen representatives,
+// with a confidence interval) lives in estimate.go.

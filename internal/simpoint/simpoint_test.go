@@ -200,8 +200,31 @@ func TestWeightedCPIErrors(t *testing.T) {
 	}
 }
 
-// Warmup correction must improve (or at least not worsen) sampling
-// accuracy on a cache-resident workload.
+// estimateWith runs the checkpointed sampled pipeline for one warmup
+// setting and returns the estimate.
+func estimateWith(t *testing.T, m config.Machine, tr *trace.Trace, reps []Representative, interval, warmup, jobs int) Estimate {
+	t.Helper()
+	slices, err := Slices(reps, interval, warmup, tr.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := make([]int, len(slices))
+	for i, s := range slices {
+		boundaries[i] = s.WStart
+	}
+	sim, err := cmp.NewSliceSim(m, cmp.ModeSingle, tr, boundaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCPI(reps, interval, warmup, tr.Len(), jobs, sim.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// Detailed warmup must improve (or at least not worsen) checkpointed
+// sampling accuracy on a cache-resident workload.
 func TestEstimateCPIWarmupHelps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("warmup comparison in -short mode")
@@ -220,37 +243,153 @@ func TestEstimateCPIWarmupHelps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := func(start, end int) (uint64, uint64, error) {
-		run, err := cmp.Run(m, cmp.ModeSingle, tr.Slice(start, end))
-		if err != nil {
-			return 0, 0, err
-		}
-		return run.Cycles, run.Insts, nil
-	}
-	cold, err := EstimateCPI(reps, interval, 0, tr.Len(), sim)
-	if err != nil {
-		t.Fatal(err)
-	}
-	warm, err := EstimateCPI(reps, interval, 10_000, tr.Len(), sim)
-	if err != nil {
-		t.Fatal(err)
-	}
-	errCold := math.Abs(cold-fullCPI) / fullCPI
-	errWarm := math.Abs(warm-fullCPI) / fullCPI
+	cold := estimateWith(t, m, tr, reps, interval, 0, 1)
+	warm := estimateWith(t, m, tr, reps, interval, interval, 1)
+	errCold := math.Abs(cold.CPI-fullCPI) / fullCPI
+	errWarm := math.Abs(warm.CPI-fullCPI) / fullCPI
 	t.Logf("full %.3f, cold-sampled %.3f (%.0f%%), warm-sampled %.3f (%.0f%%)",
-		fullCPI, cold, errCold*100, warm, errWarm*100)
+		fullCPI, cold.CPI, errCold*100, warm.CPI, errWarm*100)
 	if errWarm > errCold+0.02 {
 		t.Errorf("warmup worsened sampling: %.1f%% vs %.1f%%", errWarm*100, errCold*100)
+	}
+	// The reported interval must contain the full-run IPC.
+	fullIPC := 1 / fullCPI
+	if fullIPC < warm.IPCLow || fullIPC > warm.IPCHigh {
+		t.Errorf("full IPC %.3f outside reported CI [%.3f, %.3f]",
+			fullIPC, warm.IPCLow, warm.IPCHigh)
+	}
+	if warm.SampledInsts == 0 || warm.SampledInsts >= uint64(tr.Len()) {
+		t.Errorf("sampled %d of %d instructions", warm.SampledInsts, tr.Len())
+	}
+}
+
+// The estimate is deterministic: the same representatives yield
+// byte-identical numbers at any fan-out width.
+func TestEstimateCPIDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled determinism comparison in -short mode")
+	}
+	w, _ := workloads.ByName("bzip2")
+	tr := w.Trace(40_000)
+	m := config.Medium()
+	const interval = 4_000
+	reps, err := Choose(tr, interval, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := estimateWith(t, m, tr, reps, interval, interval, 1)
+	b := estimateWith(t, m, tr, reps, interval, interval, 4)
+	if a != b {
+		t.Errorf("estimate differs across jobs: %+v vs %+v", a, b)
 	}
 }
 
 func TestEstimateCPIErrors(t *testing.T) {
-	if _, err := EstimateCPI(nil, 100, 0, 1000, nil); err == nil {
+	if _, err := EstimateCPI([]Representative{{Weight: 1}}, 100, 0, 1000, 1, nil); err == nil {
 		t.Error("nil sim accepted")
 	}
-	reps := []Representative{{Start: 2000}}
-	sim := func(start, end int) (uint64, uint64, error) { return 10, 10, nil }
-	if _, err := EstimateCPI(reps, 100, 0, 1000, sim); err == nil {
+	ok := func(wstart, start, end int) (uint64, uint64, error) { return 10, 10, nil }
+	if _, err := EstimateCPI(nil, 100, 0, 1000, 1, ok); err == nil {
+		t.Error("no representatives accepted")
+	}
+	reps := []Representative{{Start: 2000, Weight: 1}}
+	if _, err := EstimateCPI(reps, 100, 0, 1000, 1, ok); err == nil {
 		t.Error("representative beyond trace accepted")
+	}
+	zero := func(wstart, start, end int) (uint64, uint64, error) { return 0, 0, nil }
+	if _, err := EstimateCPI([]Representative{{Weight: 1}}, 100, 0, 1000, 1, zero); err == nil {
+		t.Error("zero measured instructions accepted")
+	}
+}
+
+func TestSlices(t *testing.T) {
+	reps := []Representative{{Start: 0, Weight: 0.5}, {Start: 900, Weight: 0.5}}
+	slices, err := Slices(reps, 100, 250, 950)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First slice's warmup clamps at the trace start; last slice's end
+	// clamps at the trace end.
+	if slices[0].WStart != 0 || slices[0].Start != 0 || slices[0].End != 100 {
+		t.Errorf("slice 0 = %+v", slices[0])
+	}
+	if slices[1].WStart != 650 || slices[1].Start != 900 || slices[1].End != 950 {
+		t.Errorf("slice 1 = %+v", slices[1])
+	}
+	if _, err := Slices(reps, 0, 0, 950); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := Slices(reps, 100, -1, 950); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	if _, err := Slices([]Representative{{Start: 1000}}, 100, 0, 1000); err == nil {
+		t.Error("representative at trace end accepted")
+	}
+}
+
+// Choose with k far above the interval count clamps instead of failing,
+// and still covers every interval.
+func TestChooseKLargerThanIntervals(t *testing.T) {
+	tr := twoPhaseTrace(t)
+	n := (tr.Len() + 999) / 1000
+	reps, err := Choose(tr, 1000, 10*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) == 0 || len(reps) > n {
+		t.Fatalf("%d representatives for %d intervals", len(reps), n)
+	}
+	sum := 0.0
+	for _, r := range reps {
+		sum += r.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+// A trace shorter than one interval still yields exactly one
+// representative covering the whole trace.
+func TestChooseShortTrace(t *testing.T) {
+	tr := twoPhaseTrace(t)
+	reps, err := Choose(tr, tr.Len()*4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("%d representatives, want 1", len(reps))
+	}
+	if reps[0].Start != 0 || math.Abs(reps[0].Weight-1) > 1e-9 {
+		t.Errorf("representative %+v, want start 0 weight 1", reps[0])
+	}
+	slices, err := Slices(reps, tr.Len()*4, 0, tr.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slices[0].End != tr.Len() {
+		t.Errorf("slice end %d, want trace end %d", slices[0].End, tr.Len())
+	}
+}
+
+// Representative choice is deterministic: the same trace produces the
+// same points on every call.
+func TestChooseDeterministic(t *testing.T) {
+	w, _ := workloads.ByName("bzip2")
+	tr := w.Trace(30_000)
+	a, err := Choose(tr, 3_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Choose(w.Trace(30_000), 3_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d representatives", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("representative %d differs: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }

@@ -21,6 +21,10 @@
 #   hotblock smoke  fgstpbench output must be byte-identical with
 #                   hot-block memoization on and off, at -jobs 1 and 4
 #                   (replay is a pure speedup, never a result change)
+#   sampled smoke   scripts/simpointcheck on a fixed workload set: the
+#                   checkpointed SimPoint estimate's 95% confidence
+#                   interval must contain the full-run IPC in every
+#                   machine mode
 #   service smoke   fgstpd end to end: start the daemon, submit a job
 #                   over HTTP, the response must be byte-identical to
 #                   fgstpbench stdout (uncached and cached); stream a
@@ -90,6 +94,9 @@ cmp "$tmp/nohb1.json" "$tmp/nohb4.json" || {
     echo "-hotblock=0 export differs between -jobs 1 and -jobs 4"; exit 1; }
 cmp "$tmp/export1.json" "$tmp/nohb1.json" || {
     echo "export differs between -hotblock on and off"; exit 1; }
+
+echo "== sampled-accuracy smoke (estimate CI covers full-run IPC)"
+go run ./scripts/simpointcheck
 
 echo "== service smoke (fgstpd byte-identity, cache, graceful drain)"
 go build -o "$tmp/fgstpd" ./cmd/fgstpd
