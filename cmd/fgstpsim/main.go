@@ -293,9 +293,10 @@ func writeChromeTrace(path string, m config.Machine, md cmp.Mode, tr *trace.Trac
 // printHotBlockFooter aggregates the per-mode replay telemetry into a
 // metrics registry under the hotblock_* export names and reports replay
 // coverage on stderr — the side channel keeps the stdout report
-// byte-identical with memoization on or off. The fgstp mode never
-// replays (its coordinated cores are ineligible), so its counters
-// contribute zeros.
+// byte-identical with memoization on or off. All three modes
+// contribute: single and corefusion through the per-core engine, fgstp
+// through the joint pair-template engine (whose replays are broken out
+// as hotblock_replays_pair).
 func printHotBlockFooter(ctrs []hotblock.Counters, modes []cmp.Mode, runs []stats.Run, errs []error) {
 	var agg hotblock.Counters
 	var cycles uint64
@@ -311,8 +312,8 @@ func printHotBlockFooter(ctrs []hotblock.Counters, modes []cmp.Mode, runs []stat
 	if cycles > 0 {
 		cov = 100 * float64(agg.ReplayedCycles) / float64(cycles)
 	}
-	fmt.Fprintf(os.Stderr, "fgstpsim: hotblock replay coverage %.1f%% (%d of %d cycles, %d replays of %d templates)\n",
-		cov, agg.ReplayedCycles, cycles, agg.Replays, agg.Templates)
+	fmt.Fprintf(os.Stderr, "fgstpsim: hotblock replay coverage %.1f%% (%d of %d cycles, %d replays of %d templates, %d pair replays)\n",
+		cov, agg.ReplayedCycles, cycles, agg.Replays, agg.Templates, agg.ReplaysPair)
 	for _, s := range reg.Sorted() {
 		fmt.Fprintf(os.Stderr, "fgstpsim:   %-32s %.0f\n", s.Name, s.Value)
 	}

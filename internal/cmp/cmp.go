@@ -89,8 +89,10 @@ type Options struct {
 	Sink metrics.Sink
 	// DisableHotBlock forces the plain engine for this run regardless of
 	// the process-wide default (hotblock.SetDefaultDisabled). Memoization
-	// engages in the single and corefusion modes; the Fg-STP pair's
-	// coordinated cores decline it (see core.RunOptions).
+	// engages in all three modes: single-core and corefusion runs use the
+	// per-core engine, and the Fg-STP pair uses the joint pair-template
+	// engine that captures both cores and the channel together (see
+	// core.RunOptions).
 	DisableHotBlock bool
 	// HotBlockConfig overrides the memoization knobs; nil means defaults.
 	HotBlockConfig *hotblock.Config

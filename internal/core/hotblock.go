@@ -1,0 +1,1265 @@
+// Pair-level hot-block memoization: the Fg-STP analogue of the
+// single-core engine in internal/ooo/hotblock.go. The pair machine's
+// drain tops are not local to either core — steering, the inter-core
+// value channels, the shared sequencer and the collective commit
+// frontier couple both pipelines — so instead of declining (as
+// ooo.EnableHotBlock must for hooked cores), this engine captures the
+// JOINT state: both cores' normalized vectors, the sequencer, the
+// commit bookkeeping, and the full cross-core event log (channel
+// grants, delivery-table reads, completion records) with
+// relative cycles. A replay shifts the whole machine by (dg, dc) while
+// performing the real predictor/hierarchy/dep/channel updates in
+// captured order, so summaries stay byte-identical with replay on and
+// off.
+//
+// Byte-identity rests on the same contract as the single-core engine —
+// every external interaction of the span is either proven to recur
+// (prechecks) or re-performed for real (apply) — plus three
+// pair-specific rules proven in the comments below:
+//
+//   - Channel grants are prechecked by probing the real grant loop over
+//     an overlay (channel.probeGrant) and then re-performed for real,
+//     so the rings, the comm_* statistics and the prune/slide bookkeeping
+//     evolve exactly as a ticked span's grants would.
+//   - Cross-core events are keyed by CONSUMER, not producer: each grant
+//     or delivery-table read records which in-window uop (position
+//     offset + source index) polled it, and the replay resolves the
+//     poll's producer from the replay window's own steering cache — so
+//     loop-carried producers (recurring by offset, possibly below the
+//     window) and loop-invariant producers (recurring literally) both
+//     key correctly without classifying them. The steer compare
+//     enforces that the capture→replay producer correspondence over
+//     all remote deps is one-to-one, so capture-time grant/read
+//     deduplication maps onto the replay one-to-one as well.
+//   - A replay is refused when the machine's side-table prune would
+//     fire inside the span (and a capture spanning a prune is
+//     poisoned), so prune timing — which is phase-dependent, not part
+//     of the recurring state — stays identical to the ticked execution:
+//     the prune simply fires on a ticked iteration instead.
+package core
+
+import (
+	"slices"
+
+	"repro/internal/bpred"
+	"repro/internal/hotblock"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/trace"
+)
+
+// pairNone is the joint vector's "absent" sentinel (same value as the
+// single-core engine's hbNone, far outside any reachable offset).
+const pairNone = int64(-1) << 40
+
+// pairMaxCloseFails mirrors ooo's hbMaxCloseFails: how many failed
+// close attempts an open joint capture survives before it is declared
+// unsteady.
+const pairMaxCloseFails = 8
+
+// ------------------------------------------------------------ event log
+
+// pairGrant records one channel grant performed during the span: the
+// machine re-performs it on replay (real channel state, real stats) and
+// asserts the delivery slot matches. Cycle offsets (reqOff/tOff) are
+// relative to the capture entry; the producer is keyed through the
+// polling CONSUMER (consOff, srcIdx) and resolved from the replay
+// window's own steering cache, so loop-carried producers below the
+// window re-key correctly.
+type pairGrant struct {
+	dst    int8
+	srcIdx int8
+	// viaCT: granted off a completeAt entry (false: the committed-state
+	// path for producers below the commit pointer). ctPre additionally
+	// marks a producer issued before span entry, whose completeAt value
+	// must be re-verified exactly at replay (in-span producers get their
+	// entry re-Put by the replay itself, so it is structural).
+	viaCT   bool
+	ctPre   bool
+	consOff int32
+	reqOff  int64
+	tOff    int64
+}
+
+// pairDelivCheck pins one read of a pre-span delivery-table entry: the
+// first in-span ExtReadyAt poll that hit deliver[dst] for a producer
+// the span itself did not grant. The producer is keyed through the
+// polling consumer (consOff, srcIdx), like pairGrant. Only the
+// behaviour class is pinned: clsOff = max(t - readCycle, 0). A
+// delivery at or before the first poll stays "ready" for every later
+// poll, so class 0 needs no magnitude; a future delivery's exact
+// offset is the uop's wake time and must match exactly.
+type pairDelivCheck struct {
+	dst     int8
+	srcIdx  int8
+	consOff int32
+	readOff int64
+	clsOff  int64
+}
+
+// pairIssue records one completeAt.Put of a non-replica issue in the
+// span; replay re-Puts it at the shifted key. (pendingStores
+// bookkeeping is not replayed per-event: its entry/exit content is
+// pinned by the state vector and shifted in place.)
+type pairIssue struct {
+	gOff  int32
+	ctOff int64
+}
+
+// pairMDep records one machine-level dependence-predictor query from
+// LoadGate (recorded only in table mode; conservative and perfect
+// predictors are stateless).
+type pairMDep struct {
+	posOff int32
+	wait   bool
+}
+
+// pairSeqDelta and pairMachDelta are the span's statistic deltas
+// outside the per-core reports.
+type pairSeqDelta struct {
+	icacheStalls, windowStalls, branchStalls int64
+	delivered, replicaDeliveries             uint64
+}
+
+type pairMachDelta struct {
+	specLoads, gatedLoads, forwardedRemote uint64
+}
+
+// pairQuick is the joint cheap prefilter: machine/sequencer scalars
+// plus both cores' quick vectors.
+type pairQuick struct {
+	m [8]int32
+	c [2][8]int32
+}
+
+// pairTemplate is one captured joint timing span.
+type pairTemplate struct {
+	capPos   int
+	backSpan int
+	dg       int
+	dc       int64
+	// lastCommitOff anchors the drain watchdog after a replay (the
+	// span's final global-commit cycle, entry-relative); coreCommitOff
+	// restores each core's own progress anchor when it committed in the
+	// span.
+	lastCommitOff int64
+	coreCommitOff [2]int64
+	coreCommitted [2]bool
+
+	quick pairQuick
+	vec   []int64
+	seqd  pairSeqDelta
+	machd pairMachDelta
+	rptd  [2]ooo.Report
+
+	// allHit is telemetry-only here: unlike the single-core engine, the
+	// pair precheck always replays the full probe, because the exact
+	// address partition does not pin line-granular aliasing and a
+	// store's peer-L1D invalidation could evict a line a later in-span
+	// access needs — only the probe (which simulates the invalidations
+	// in captured order against the replay window's own addresses)
+	// proves the recorded latencies recur.
+	allHit bool
+
+	mem      []ooo.HBMemAccess // merged: both cores' loads/stores + sequencer fetches
+	dep      []ooo.HBDepQuery  // both cores' local dep queries, tagged
+	depCalls [2]uint64
+	mdep     []pairMDep
+	mdepOps  uint64
+
+	grants []pairGrant
+	deliv  []pairDelivCheck
+	issues []pairIssue
+}
+
+// pairCapEntry is the snapshot taken when a joint capture span opens.
+type pairCapEntry struct {
+	now        int64
+	pos        int
+	backSpan   int
+	nextCommit uint64
+	pruneMark  uint64
+	quick      pairQuick
+	vec        []int64 // owned copy
+	rpt        [2]ooo.Report
+
+	seqMispredicts, seqIndirect            uint64
+	seqICache, seqWindow, seqBranch        int64
+	seqDelivered, seqReplicas              uint64
+	globalSquashes, crossViolations        uint64
+	specLoads, gatedLoads, forwardedRemote uint64
+
+	l1iMiss, l1dMiss, pref [2]uint64
+	l2Acc                  uint64
+
+	mdepClearAt uint64
+	depClearAt  [2]uint64
+
+	lastCommitAt [2]int64
+
+	closeFails int
+}
+
+type pairCDEntry struct {
+	g uint64
+	n uint8
+}
+
+// pairCtl is the machine-level joint memoization controller.
+type pairCtl struct {
+	cfg  hotblock.Config
+	ctrs *hotblock.Counters
+	prof *hotblock.Profile
+
+	lastSeenPos int
+
+	capturing bool
+	capB      *hotblock.Block
+	cap       pairCapEntry
+	rec       ooo.HBLog // shared by both cores and the sequencer, core-tagged
+
+	mdep       []pairMDep
+	grants     []pairGrant
+	deliv      []pairDelivCheck
+	issues     []pairIssue
+	spanIssued map[uint64]struct{}
+	delivSeen  map[uint64]struct{}
+	mdepTable  bool
+	// prodF/prodR are precheck scratch for the steer compare's
+	// capture->replay producer bijection over below-window remote deps.
+	prodF map[uint64]uint64
+	prodR map[uint64]uint64
+
+	// Chained-replay fast path (see ooo's hbCtl.lastTpl).
+	lastTpl    *pairTemplate
+	lastEndNow int64
+	lastEndPos int
+
+	vecbuf  []int64
+	scratch *bpred.Scratch
+	probe   *mem.Probe
+	addrA   map[uint64]int32
+	addrB   map[uint64]int32
+	// chanDelta overlays the channels' grant counts during the replay
+	// precheck's probeGrant walk (one per direction).
+	chanDelta [2]map[int64]int32
+	cdbuf     []pairCDEntry
+}
+
+// EnablePairHotBlock turns on joint hot-block memoization for the
+// Fg-STP pair and reports whether it engaged. It declines — leaving
+// the machine in plain ticked/skip mode — when machine state is not
+// replayable by construction: fault injection (grants become
+// cycle-dependent), a pipeline-event sink (replayed spans emit no
+// events), or store-set dependence mode (the set tables mutate on every
+// delivery, far too hot to precheck). Call after NewMachine and before
+// the first cycle; ctrs may be nil.
+func (m *Machine) EnablePairHotBlock(cfg hotblock.Config, ctrs *hotblock.Counters) bool {
+	if m.faults != nil || m.sink != nil || m.storeSets != nil {
+		if ctrs != nil {
+			ctrs.DeclinedVisibility++
+		}
+		return false
+	}
+	if ctrs == nil {
+		ctrs = &hotblock.Counters{}
+	}
+	_, _, mdepTable := m.depPred.HBState()
+	m.phb = &pairCtl{
+		cfg:         cfg.WithDefaults(),
+		ctrs:        ctrs,
+		prof:        hotblock.NewProfile(),
+		lastSeenPos: -1,
+		scratch:     bpred.NewScratch(),
+		addrA:       make(map[uint64]int32),
+		addrB:       make(map[uint64]int32),
+		spanIssued:  make(map[uint64]struct{}),
+		delivSeen:   make(map[uint64]struct{}),
+		prodF:       make(map[uint64]uint64),
+		prodR:       make(map[uint64]uint64),
+		mdepTable:   mdepTable,
+		chanDelta:   [2]map[int64]int32{make(map[int64]int32), make(map[int64]int32)},
+	}
+	return true
+}
+
+// PairHotBlockEnabled reports whether joint memoization is active.
+func (m *Machine) PairHotBlockEnabled() bool { return m.phb != nil }
+
+// ------------------------------------------------------------- detector
+
+// pairTop runs the joint detector at one drain-loop top, mirroring
+// ooo's hotblockTop: (end, true) means a template replay covered
+// [now, end) and the drain must jump its clock.
+func (m *Machine) pairTop(now, lastProgress, limit int64) (int64, bool) {
+	h := m.phb
+	pos := int(m.seq.pos)
+	if h.capturing {
+		if now-h.cap.now > h.cfg.MaxSpanCycles || pos-h.cap.pos > h.cfg.MaxSpanInsts {
+			h.ctrs.AbortsSpanLimit++
+			m.pairAbortCapture(false)
+		} else if m.pairSpanPoisoned() {
+			h.ctrs.AbortsUnsteady++
+			m.pairAbortCapture(false)
+		}
+	}
+	if pos == h.lastSeenPos {
+		return 0, false
+	}
+	h.lastSeenPos = pos
+	if pos >= m.tr.Len() || !m.tr.BlockStartAt(pos) {
+		return 0, false
+	}
+	pc := m.tr.At(pos).PC
+	if h.capturing {
+		if pc == h.capB.PC && pos-h.cap.pos >= h.cfg.MinSpanInsts {
+			m.pairTryClose(now, pos)
+			if h.capturing {
+				if h.cap.closeFails++; h.cap.closeFails > pairMaxCloseFails {
+					h.ctrs.AbortsUnsteady++
+					m.pairAbortCapture(false)
+				}
+			}
+		}
+		return 0, false
+	}
+	b := h.prof.Observe(pc)
+	switch b.Status {
+	case hotblock.Cold:
+		if b.Count >= uint64(h.cfg.Threshold) {
+			b.Status = hotblock.Hot
+			m.pairBeginCapture(b, now, pos)
+		}
+	case hotblock.Hot:
+		m.pairBeginCapture(b, now, pos)
+	case hotblock.Armed:
+		return m.pairTryReplay(b, now, pos, lastProgress, limit)
+	case hotblock.Dead:
+		if b.Count >= b.ReviveAt {
+			b.Status = hotblock.Hot
+			b.Attempts = 0
+			b.Misses = 0
+		}
+	}
+	return 0, false
+}
+
+// -------------------------------------------------------------- capture
+
+// pairBackSpan returns the depth of pre-entry history the joint state
+// still references: the oldest position among the commit pointer, both
+// cores' in-flight uops and both store trackers' live entries (a stale
+// issued head can lag the commit pointer until the next lazy advance,
+// and the oracle load gate reads tracked stores' trace addresses).
+// Stream items need no term: they are delivered but uncommitted, so
+// nextCommit already bounds them.
+func (m *Machine) pairBackSpan(pos int) int {
+	oldest := int(m.nextCommit)
+	for i := 0; i < 2; i++ {
+		if o := m.cores[i].HBOldestInFlight(pos); o < oldest {
+			oldest = o
+		}
+		if t := m.pendingStores[i]; t.head < len(t.pend) {
+			if o := int(t.pend[t.head] &^ issuedBit); o < oldest {
+				oldest = o
+			}
+		}
+	}
+	return pos - oldest
+}
+
+func (m *Machine) pairBeginCapture(b *hotblock.Block, now int64, pos int) {
+	h := m.phb
+	h.capturing = true
+	h.capB = b
+	c := &h.cap
+	c.now, c.pos = now, pos
+	c.backSpan = m.pairBackSpan(pos)
+	c.nextCommit = m.nextCommit
+	c.pruneMark = m.pruneMark
+	c.quick = m.pairQuickState(now)
+	c.vec = m.pairEncode(c.vec[:0], now, pos)
+	c.rpt[0] = m.cores[0].Report()
+	c.rpt[1] = m.cores[1].Report()
+	c.seqMispredicts, c.seqIndirect = m.seq.Mispredicts, m.seq.IndirectMiss
+	c.seqICache, c.seqWindow, c.seqBranch = m.seq.ICacheStalls, m.seq.WindowStalls, m.seq.BranchStalls
+	c.seqDelivered, c.seqReplicas = m.seq.Delivered, m.seq.ReplicaDeliveries
+	c.globalSquashes, c.crossViolations = m.GlobalSquashes, m.CrossViolations
+	c.specLoads, c.gatedLoads, c.forwardedRemote = m.SpecLoads, m.GatedLoads, m.ForwardedRemote
+	for i := 0; i < 2; i++ {
+		c.l1iMiss[i] = m.hiers[i].L1I.Stats.Misses
+		c.l1dMiss[i] = m.hiers[i].L1D.Stats.Misses
+		c.pref[i] = m.hiers[i].Prefetches
+		_, c.depClearAt[i], _ = m.cores[i].HBDepPred().HBState()
+		c.lastCommitAt[i] = m.cores[i].HBLastCommitAt()
+	}
+	c.l2Acc = m.hiers[0].L2.Stats.Accesses // shared L2, count once
+	_, c.mdepClearAt, _ = m.depPred.HBState()
+	c.closeFails = 0
+
+	h.rec.Reset(pos)
+	m.cores[0].HBSetLog(&h.rec, 0)
+	m.cores[1].HBSetLog(&h.rec, 1)
+	m.seq.hblog = &h.rec
+	h.mdep = h.mdep[:0]
+	h.grants = h.grants[:0]
+	h.deliv = h.deliv[:0]
+	h.issues = h.issues[:0]
+	clear(h.spanIssued)
+	clear(h.delivSeen)
+}
+
+func (m *Machine) pairDetachLogs() {
+	m.cores[0].HBSetLog(nil, 0)
+	m.cores[1].HBSetLog(nil, 1)
+	m.seq.hblog = nil
+}
+
+func (m *Machine) pairAbortCapture(squash bool) {
+	h := m.phb
+	h.capturing = false
+	m.pairDetachLogs()
+	b := h.capB
+	h.capB = nil
+	if b == nil {
+		return
+	}
+	if squash {
+		h.ctrs.InvalidationsSquash++
+	}
+	b.Attempts++
+	if b.Attempts >= h.cfg.MaxCaptureAttempts {
+		b.Status = hotblock.Dead
+		b.Template = nil
+		b.ReviveAt = b.Count * 2
+	}
+}
+
+// pairOnSquash is called from applySquash with the squash point and the
+// pre-rewind delivery frontier: it aborts any open capture and drops
+// armed templates of blocks starting inside the squashed region.
+func (m *Machine) pairOnSquash(gseq, hi uint64) {
+	h := m.phb
+	if h.capturing {
+		m.pairAbortCapture(true)
+	}
+	h.lastTpl = nil
+	for p := int(gseq); p < int(hi); p++ {
+		if !m.tr.BlockStartAt(p) {
+			continue
+		}
+		if b := h.prof.Lookup(m.tr.At(p).PC); b != nil && b.Status == hotblock.Armed {
+			b.Template = nil
+			b.Status = hotblock.Hot
+			b.Attempts = 0
+			h.ctrs.InvalidationsSquash++
+		}
+	}
+	h.lastSeenPos = -1
+}
+
+// pairSpanPoisoned reports whether an event that can never recur in a
+// steady joint span has occurred since the capture opened: a
+// mispredict or squash on either side, a cross-core violation, a
+// dependence-table clear (machine or core level), or a side-table
+// prune (phase-dependent, not recurring state). Replica deliveries
+// deliberately do NOT poison — replication is the pair's steady-state
+// behaviour, pinned by the steer compare.
+func (m *Machine) pairSpanPoisoned() bool {
+	h := m.phb
+	c := &h.cap
+	if m.seq.Mispredicts != c.seqMispredicts ||
+		m.seq.IndirectMiss != c.seqIndirect ||
+		m.GlobalSquashes != c.globalSquashes ||
+		m.CrossViolations != c.crossViolations ||
+		m.pruneMark != c.pruneMark {
+		return true
+	}
+	if h.mdepTable {
+		if _, clearAt, _ := m.depPred.HBState(); clearAt != c.mdepClearAt {
+			return true
+		}
+	}
+	for i := 0; i < 2; i++ {
+		d := m.cores[i].HBReportDelta(&c.rpt[i])
+		if d.Squashes != 0 || d.MemViolations != 0 || d.BranchMispredicts != 0 ||
+			d.IndirectMispredicts != 0 || d.Squashed != 0 {
+			return true
+		}
+		if _, clearAt, table := m.cores[i].HBDepPred().HBState(); table && clearAt != c.depClearAt[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// pairTryClose attempts to close the open joint span at a top where
+// the delivery frontier re-reached the captured block's start PC.
+func (m *Machine) pairTryClose(now int64, pos int) {
+	h := m.phb
+	c := &h.cap
+	dg := pos - c.pos
+	// Global commits lagging the fetch burst is transient (like a
+	// vector mismatch): keep the span open for a later occurrence.
+	if m.nextCommit != c.nextCommit+uint64(dg) {
+		return
+	}
+	if m.pairQuickState(now) != c.quick {
+		return
+	}
+	h.vecbuf = m.pairEncode(h.vecbuf[:0], now, pos)
+	if !slices.Equal(h.vecbuf, c.vec) {
+		return
+	}
+
+	b := h.capB
+	tpl := &pairTemplate{
+		capPos:        c.pos,
+		backSpan:      c.backSpan,
+		dg:            dg,
+		dc:            now - c.now,
+		lastCommitOff: m.lastCommitCycle - c.now,
+		quick:         c.quick,
+		vec:           slices.Clone(c.vec),
+		seqd: pairSeqDelta{
+			icacheStalls:      m.seq.ICacheStalls - c.seqICache,
+			windowStalls:      m.seq.WindowStalls - c.seqWindow,
+			branchStalls:      m.seq.BranchStalls - c.seqBranch,
+			delivered:         m.seq.Delivered - c.seqDelivered,
+			replicaDeliveries: m.seq.ReplicaDeliveries - c.seqReplicas,
+		},
+		machd: pairMachDelta{
+			specLoads:       m.SpecLoads - c.specLoads,
+			gatedLoads:      m.GatedLoads - c.gatedLoads,
+			forwardedRemote: m.ForwardedRemote - c.forwardedRemote,
+		},
+		rptd: [2]ooo.Report{
+			m.cores[0].HBReportDelta(&c.rpt[0]),
+			m.cores[1].HBReportDelta(&c.rpt[1]),
+		},
+		allHit: m.hiers[0].L1I.Stats.Misses == c.l1iMiss[0] &&
+			m.hiers[1].L1I.Stats.Misses == c.l1iMiss[1] &&
+			m.hiers[0].L1D.Stats.Misses == c.l1dMiss[0] &&
+			m.hiers[1].L1D.Stats.Misses == c.l1dMiss[1] &&
+			m.hiers[0].L2.Stats.Accesses == c.l2Acc &&
+			m.hiers[0].Prefetches == c.pref[0] &&
+			m.hiers[1].Prefetches == c.pref[1],
+		mem:    slices.Clone(h.rec.Mem),
+		dep:    slices.Clone(h.rec.Dep),
+		mdep:   slices.Clone(h.mdep),
+		grants: slices.Clone(h.grants),
+		deliv:  slices.Clone(h.deliv),
+		issues: slices.Clone(h.issues),
+	}
+	tpl.mdepOps = uint64(len(tpl.mdep))
+	for _, q := range tpl.dep {
+		// Same op-cost formula as the single-core engine: a "wait"
+		// answer is decided by the first query of a MustWaitN scan.
+		if q.Wait {
+			tpl.depCalls[q.Core]++
+		} else {
+			tpl.depCalls[q.Core] += uint64(q.N)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if at := m.cores[i].HBLastCommitAt(); at != c.lastCommitAt[i] {
+			tpl.coreCommitted[i] = true
+			tpl.coreCommitOff[i] = at - c.now
+		}
+	}
+
+	h.capturing = false
+	h.capB = nil
+	m.pairDetachLogs()
+	b.Template = tpl
+	b.Status = hotblock.Armed
+	b.Attempts = 0
+	// b.Misses survives the re-arm, exactly as in ooo: a block
+	// thrashing between capture and failing preconditions still dies.
+	h.ctrs.Templates++
+	h.ctrs.TemplatesPair++
+	if !tpl.allHit {
+		h.ctrs.TemplatesPeriodic++
+	}
+}
+
+// -------------------------------------------------- capture record sites
+
+// recDeliv records the first in-span deliver-table hit per (dst,
+// producer); later polls of the same key are monotone consequences of
+// the first and need no record. The dedupe is keyed by the capture
+// producer; the record itself keys through the polling consumer (cons,
+// srcIdx), whose replay-window steer entry names the replay producer.
+func (h *pairCtl) recDeliv(dst int, p, cons uint64, srcIdx int, t, now int64) {
+	key := p<<1 | uint64(dst)
+	if _, ok := h.delivSeen[key]; ok {
+		return
+	}
+	h.delivSeen[key] = struct{}{}
+	cls := t - now
+	if cls < 0 {
+		cls = 0
+	}
+	h.deliv = append(h.deliv, pairDelivCheck{
+		dst:     int8(dst),
+		srcIdx:  int8(srcIdx),
+		consOff: int32(int64(cons) - int64(h.cap.pos)),
+		readOff: now - h.cap.now,
+		clsOff:  cls,
+	})
+}
+
+// recGrant records one channel grant, keyed through the polling
+// consumer like recDeliv.
+func (h *pairCtl) recGrant(dst int, p, cons uint64, srcIdx int, viaCT bool, req, t int64) {
+	h.delivSeen[p<<1|uint64(dst)] = struct{}{} // the span's own Put; later reads hit it
+	_, preIssued := h.spanIssued[p]
+	h.grants = append(h.grants, pairGrant{
+		dst:     int8(dst),
+		srcIdx:  int8(srcIdx),
+		viaCT:   viaCT,
+		ctPre:   viaCT && !preIssued,
+		consOff: int32(int64(cons) - int64(h.cap.pos)),
+		reqOff:  req - h.cap.now,
+		tOff:    t - h.cap.now,
+	})
+}
+
+func (h *pairCtl) recIssue(g uint64, ct int64) {
+	h.spanIssued[g] = struct{}{}
+	h.issues = append(h.issues, pairIssue{
+		gOff:  int32(int64(g) - int64(h.cap.pos)),
+		ctOff: ct - h.cap.now,
+	})
+}
+
+func (h *pairCtl) recMDep(g uint64, wait bool) {
+	h.mdep = append(h.mdep, pairMDep{
+		posOff: int32(int64(g) - int64(h.cap.pos)),
+		wait:   wait,
+	})
+}
+
+// ------------------------------------------------------- state encoding
+
+// pairQuickState is the joint cheap prefilter; every component is a
+// function of vector fields, so a quick mismatch implies a vector
+// mismatch.
+func (m *Machine) pairQuickState(now int64) pairQuick {
+	s := m.seq
+	bl, st := int32(0), int32(0)
+	if s.blocked {
+		bl = 1
+	}
+	if s.stallUntil > now {
+		st = 1
+	}
+	var q pairQuick
+	q.m = [8]int32{
+		int32(s.streams[0].n), int32(s.streams[1].n),
+		int32(len(m.pendingStores[0].pend) - m.pendingStores[0].head),
+		int32(len(m.pendingStores[1].pend) - m.pendingStores[1].head),
+		int32(int64(s.pos) - int64(m.nextCommit)),
+		bl, st, 0,
+	}
+	q.c[0] = m.cores[0].HBQuickVec(now)
+	q.c[1] = m.cores[1].HBQuickVec(now)
+	return q
+}
+
+// pairEncode appends the joint normalized state vector at a drain top
+// to v: machine commit/steer-coupling scalars, the sequencer, the
+// per-gseq side-table patterns still observable above the commit
+// pointer, and both cores' vectors (ooo.HBEncodeState — times relative
+// to now, positions to pos). commitFrontier is omitted (recomputed from
+// encoded state at the top of every Cycle) and hasSquash is always
+// false between cycles. The channels are deliberately NOT encoded:
+// their observable behaviour over the span is prechecked against the
+// live rings by probeGrant, which admits replays the (absolute-slot)
+// ring content would refuse.
+func (m *Machine) pairEncode(v []int64, now int64, pos int) []int64 {
+	p := int64(pos)
+	clamp0 := func(x int64) int64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	s := m.seq
+	v = append(v, int64(m.nextCommit)-p)
+	if s.blocked {
+		v = append(v, 1, int64(s.blockedOn)-p)
+	} else {
+		v = append(v, 0, pairNone)
+	}
+	// lastFetchLine holds absolute I-cache line addresses; PCs recur
+	// across loop iterations, so these recur literally.
+	v = append(v, clamp0(s.stallUntil-now),
+		int64(s.lastFetchLine[0]), int64(s.lastFetchLine[1]))
+	for i := 0; i < 2; i++ {
+		st := s.streams[i]
+		if st.n > 0 {
+			v = append(v, int64(st.buf[st.head].GSeq)-p, int64(st.n))
+		} else {
+			v = append(v, pairNone, 0)
+		}
+	}
+	// Partial commit counts over [nextCommit, pos); entries below
+	// nextCommit are dead (never read again, swept by prune).
+	for g := m.nextCommit; g < uint64(pos); g++ {
+		if cnt, ok := m.commitsDone.Get(g); ok {
+			v = append(v, int64(g)-p, int64(cnt))
+		}
+	}
+	v = append(v, pairNone)
+	for i := 0; i < 2; i++ {
+		t := m.pendingStores[i]
+		v = append(v, int64(len(t.pend)-t.head))
+		for j := t.head; j < len(t.pend); j++ {
+			e := t.pend[j]
+			fl := int64(0)
+			if e&issuedBit != 0 {
+				fl = 1
+			}
+			v = append(v, (int64(e&^issuedBit)-p)*2+fl)
+		}
+	}
+	v = m.cores[0].HBEncodeState(v, now, pos)
+	v = m.cores[1].HBEncodeState(v, now, pos)
+	return v
+}
+
+// --------------------------------------------------------------- replay
+
+// pairTryReplay checks an armed joint template's preconditions at
+// (now, pos) and, when every one holds, applies the span in bulk.
+func (m *Machine) pairTryReplay(b *hotblock.Block, now int64, pos int, lastProgress, limit int64) (int64, bool) {
+	h := m.phb
+	tpl := b.Template.(*pairTemplate)
+	end := now + tpl.dc
+	var fail *uint64
+	switch {
+	// Window: watchdog/trace bounds, plus the prune horizon — a span
+	// that would cross the side-table prune point is refused so prune
+	// timing (phase-dependent bookkeeping, not recurring state) stays
+	// identical to the ticked execution, which prunes on the ticked
+	// iteration instead. Costs at most one refusal per prunePeriod.
+	case !(end <= lastProgress+ooo.LivelockWindow && end <= limit &&
+		pos-tpl.backSpan >= 0 && pos+tpl.dg <= m.tr.Len() &&
+		m.nextCommit+uint64(tpl.dg) < m.pruneMark+prunePeriod):
+		fail = &h.ctrs.PrecondWindow
+	case !(h.lastTpl == tpl && h.lastEndNow == now && h.lastEndPos == pos) &&
+		!(m.pairQuickState(now) == tpl.quick &&
+			slices.Equal(m.pairEncodeBuf(now, pos), tpl.vec)):
+		fail = &h.ctrs.PrecondVector
+	case !m.pairShapeMatch(tpl, pos) || !m.pairAddrMatch(tpl, pos):
+		fail = &h.ctrs.PrecondShape
+	case !m.pairProbeMatch(tpl, pos):
+		fail = &h.ctrs.PrecondCache
+	case !m.pairPredMatch(tpl, pos):
+		fail = &h.ctrs.PrecondPred
+	case !m.pairDepMatch(tpl, pos):
+		fail = &h.ctrs.PrecondDep
+	case !m.pairSteerMatch(tpl, pos) || !m.pairEventsMatch(tpl, now, pos):
+		fail = &h.ctrs.PrecondPair
+	}
+	if fail != nil {
+		*fail++
+		b.Misses++
+		h.ctrs.InvalidationsPrecond++
+		if b.Misses >= h.cfg.MaxPrecondMisses {
+			b.Status = hotblock.Dead
+			b.Template = nil
+			b.ReviveAt = b.Count * 2
+		} else if fail == &h.ctrs.PrecondCache && !tpl.allHit {
+			// The recorded miss pattern shifted (warm-up taper, phase
+			// change): recapture the current one now; Misses persists,
+			// so a never-recurring pattern still dies.
+			b.Status = hotblock.Hot
+			b.Template = nil
+		}
+		return 0, false
+	}
+	m.pairApply(tpl, now, pos)
+	b.Misses = 0
+	h.ctrs.Replays++
+	h.ctrs.ReplaysPair++
+	h.ctrs.ReplayedCycles += uint64(tpl.dc)
+	h.ctrs.ReplayedInsts += uint64(tpl.dg)
+	h.lastTpl = tpl
+	h.lastEndNow = end
+	h.lastEndPos = pos + tpl.dg
+	return end, true
+}
+
+func (m *Machine) pairEncodeBuf(now int64, pos int) []int64 {
+	h := m.phb
+	h.vecbuf = m.pairEncode(h.vecbuf[:0], now, pos)
+	return h.vecbuf
+}
+
+// pairShapeMatch mirrors ooo's hbShapeMatch over the joint window.
+func (m *Machine) pairShapeMatch(tpl *pairTemplate, pos int) bool {
+	base := pos - tpl.backSpan
+	cbase := tpl.capPos - tpl.backSpan
+	if base == cbase {
+		return true
+	}
+	n := tpl.backSpan + tpl.dg
+	for i := 0; i < n; i++ {
+		x, y := m.tr.At(cbase+i), m.tr.At(base+i)
+		if x.PC != y.PC || x.Class != y.Class || x.Dst != y.Dst ||
+			x.Src1 != y.Src1 || x.Src2 != y.Src2 || x.Src3 != y.Src3 ||
+			x.Taken != y.Taken || x.Indirect != y.Indirect ||
+			x.IsCall != y.IsCall || x.IsRet != y.IsRet {
+			return false
+		}
+	}
+	return true
+}
+
+// pairAddrMatch mirrors ooo's hbAddrMatch: the replay window's memory
+// ops must induce the same address-equality partition as the captured
+// window (forwarding, disambiguation, violation detection and the
+// oracle load gate depend only on this partition; cache behaviour is
+// proven separately by the probe, which uses the replay's own
+// addresses).
+func (m *Machine) pairAddrMatch(tpl *pairTemplate, pos int) bool {
+	h := m.phb
+	base := pos - tpl.backSpan
+	cbase := tpl.capPos - tpl.backSpan
+	if base == cbase {
+		return true
+	}
+	clear(h.addrA)
+	clear(h.addrB)
+	n := tpl.backSpan + tpl.dg
+	k := int32(0)
+	for i := 0; i < n; i++ {
+		x := m.tr.At(cbase + i)
+		if !x.IsLoad() && !x.IsStore() {
+			continue
+		}
+		y := m.tr.At(base + i)
+		ca, okA := h.addrA[x.Addr]
+		cb, okB := h.addrB[y.Addr]
+		if okA != okB || (okA && ca != cb) {
+			return false
+		}
+		if !okA {
+			h.addrA[x.Addr] = k
+			h.addrB[y.Addr] = k
+			k++
+		}
+	}
+	return true
+}
+
+// pairProbeMatch replays the merged access log (both cores' loads and
+// stores plus the sequencer's cooperative fetches) against a
+// copy-on-write overlay of the live caches and requires every Fetch
+// and Load to answer its recorded latency. Unlike the single-core
+// engine there is no all-hit Lookup fast path: with two L1Ds coupled
+// by store invalidations, only the probe — which replays the
+// invalidations in captured order against the replay window's own
+// addresses — proves the pair's hierarchy responses recur.
+func (m *Machine) pairProbeMatch(tpl *pairTemplate, pos int) bool {
+	h := m.phb
+	if h.probe == nil {
+		h.probe = mem.NewProbe()
+	}
+	p := h.probe
+	p.Reset()
+	for _, a := range tpl.mem {
+		d := m.tr.At(pos + int(a.PosOff))
+		hr := m.hiers[a.Core]
+		switch a.Kind {
+		case ooo.HBMemFetch:
+			if p.Fetch(hr, d.PC) != int(a.Lat) {
+				return false
+			}
+		case ooo.HBMemLoad:
+			if p.Load(hr, d.Addr) != int(a.Lat) {
+				return false
+			}
+		case ooo.HBMemStore:
+			p.Store(hr, d.Addr)
+		}
+	}
+	return true
+}
+
+// pairPredMatch mirrors ooo's hbPredMatch on the shared sequencer
+// predictor: the span's observation sequence (every control
+// instruction in delivery order) must be all-correct on a
+// side-effect-free overlay.
+func (m *Machine) pairPredMatch(tpl *pairTemplate, pos int) bool {
+	s := m.phb.scratch
+	s.Reset(m.seq.pred)
+	for i := 0; i < tpl.dg; i++ {
+		d := m.tr.At(pos + i)
+		switch d.Class {
+		case isa.ClassBranch:
+			if !s.TryBranch(d.PC, d.Taken) {
+				return false
+			}
+		case isa.ClassJump:
+			ok := true
+			switch {
+			case d.IsRet:
+				ok = s.TryReturn(d.Target)
+			case d.Indirect:
+				ok = s.TryIndirect(d.PC, d.Target)
+			}
+			if d.IsCall {
+				s.TryCall(d.PC + isa.InstBytes)
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pairDepMatch proves all three dependence predictors (machine-level
+// cross-core, plus each core's local one) would answer the span's
+// query logs exactly as at capture: no periodic clear falls inside the
+// op advance, and every queried PC's bit still matches.
+func (m *Machine) pairDepMatch(tpl *pairTemplate, pos int) bool {
+	if !pairDepTableMatch(m.depPred, m.tr, pos, nil, tpl.mdep, 0, tpl.mdepOps) {
+		return false
+	}
+	for i := int8(0); i < 2; i++ {
+		p := m.cores[i].HBDepPred()
+		if !pairDepTableMatch(p, m.tr, pos, tpl.dep, nil, i, tpl.depCalls[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// pairDepTableMatch checks one predictor against either a tagged
+// shared core log (dep, filtered by tag) or the machine log (mdep).
+func pairDepTableMatch(p *ooo.DepPred, tr *trace.Trace, pos int, dep []ooo.HBDepQuery, mdep []pairMDep, tag int8, calls uint64) bool {
+	_, clearAt, table := p.HBState()
+	if !table || calls == 0 {
+		return true
+	}
+	if ops, _, _ := p.HBState(); clearAt == 0 || ops+calls >= clearAt {
+		return false
+	}
+	for _, q := range dep {
+		if q.Core != tag {
+			continue
+		}
+		if p.HBBit(tr.At(pos+int(q.PosOff)).PC) != q.Wait {
+			return false
+		}
+	}
+	for _, q := range mdep {
+		if p.HBBit(tr.At(pos+int(q.posOff)).PC) != q.wait {
+			return false
+		}
+	}
+	return true
+}
+
+// pairSteerMatch verifies the replay window's steering decisions —
+// home core, replication, and per-source producer links — recur
+// relative to the captured window. Decisions are computed once per
+// trace position and cached, so comparing ahead of delivery is safe.
+//
+// Producer links inside the window must recur by offset: local deps
+// resolve by in-flight-window lookup (so in-window identity is
+// positional), remote deps' grants re-Put completion records under
+// structural keys, and in-span issues re-key completeAt by offset.
+// Producers below the window split by locality: a local below-window
+// producer misses the in-flight lookup on both sides (architecturally
+// ready) and its value is inert, so any pair is fine; a remote
+// below-window producer keys deliver/completeAt reads, so the
+// capture->replay correspondence must merely be CONSISTENT — the same
+// capture producer always maps to the same replay producer and vice
+// versa (a bijection, accumulated in prodF/prodR). One-to-one-ness is
+// what makes the capture's per-producer grant/read dedup map onto the
+// replay one-to-one, preserving grant counts and table behaviour.
+func (m *Machine) pairSteerMatch(tpl *pairTemplate, pos int) bool {
+	base := pos - tpl.backSpan
+	cbase := tpl.capPos - tpl.backSpan
+	if base == cbase {
+		return true
+	}
+	h := m.phb
+	clear(h.prodF)
+	clear(h.prodR)
+	n := tpl.backSpan + tpl.dg
+	for i := 0; i < n; i++ {
+		a := m.st.info(uint64(cbase + i))
+		b := m.st.info(uint64(base + i))
+		if a.home != b.home || a.replica != b.replica {
+			return false
+		}
+		// Unused dep slots are zero-valued in both windows (the shape
+		// match pins identical source structure), so comparing all
+		// three is exact.
+		for j := 0; j < 3; j++ {
+			if a.deps[j].Remote != b.deps[j].Remote {
+				return false
+			}
+			pa, pb := a.deps[j].Producer, b.deps[j].Producer
+			if pa == ooo.NoProducer || pb == ooo.NoProducer {
+				if pa != pb {
+					return false
+				}
+				continue
+			}
+			relA := pa >= uint64(cbase)
+			relB := pb >= uint64(base)
+			if relA != relB {
+				return false
+			}
+			if relA {
+				if int64(pa)-int64(cbase) != int64(pb)-int64(base) {
+					return false
+				}
+			} else if a.deps[j].Remote {
+				if f, ok := h.prodF[pa]; ok && f != pb {
+					return false
+				}
+				if r, ok := h.prodR[pb]; ok && r != pa {
+					return false
+				}
+				h.prodF[pa] = pb
+				h.prodR[pb] = pa
+			}
+		}
+	}
+	return true
+}
+
+// pairProd resolves an event's replay producer: the polling consumer's
+// steer-cache entry at the replay position names the producer its
+// deliver/completeAt reads will key on. pairSteerMatch has already
+// proven this correspondence consistent across the whole window.
+func (m *Machine) pairProd(pos int, consOff int32, srcIdx int8) uint64 {
+	return m.st.info(uint64(pos + int(consOff))).deps[srcIdx].Producer
+}
+
+// pairEventsMatch proves the span's cross-core event log recurs: every
+// pre-span delivery read hits with the same behaviour class, every
+// grant finds its table preconditions (deliver entry absent; committed
+// producers already committed with records absent, pre-issued
+// producers' completion exact), and the channel grant walks — probed
+// over an overlay of the live rings — land on the recorded slots. A
+// passing probe guarantees the real grants performed by pairApply
+// reproduce the recorded schedule (and with it the comm_* statistics)
+// exactly.
+func (m *Machine) pairEventsMatch(tpl *pairTemplate, now int64, pos int) bool {
+	h := m.phb
+	for i := range tpl.deliv {
+		d := &tpl.deliv[i]
+		t, ok := m.deliver[d.dst].Get(m.pairProd(pos, d.consOff, d.srcIdx))
+		if !ok {
+			return false
+		}
+		cls := t - (now + d.readOff)
+		if cls < 0 {
+			cls = 0
+		}
+		if cls != d.clsOff {
+			return false
+		}
+	}
+	clear(h.chanDelta[0])
+	clear(h.chanDelta[1])
+	for i := range tpl.grants {
+		g := &tpl.grants[i]
+		p := m.pairProd(pos, g.consOff, g.srcIdx)
+		if _, ok := m.deliver[g.dst].Get(p); ok {
+			return false
+		}
+		switch {
+		case !g.viaCT:
+			// Committed-state path: the producer must already be below
+			// the commit pointer at span entry (conservative — the
+			// capture observed it committed at poll time, which is no
+			// earlier) with its timing record pruned/absent.
+			if p >= m.nextCommit {
+				return false
+			}
+			if _, ok := m.completeAt.Get(p); ok {
+				return false
+			}
+		case g.ctPre:
+			ct, ok := m.completeAt.Get(p)
+			if !ok || ct != now+g.reqOff {
+				return false
+			}
+		}
+		if m.chans[g.dst].probeGrant(h.chanDelta[g.dst], now+g.reqOff) != now+g.tOff {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- apply
+
+// pairApply commits a precheck-approved replay: re-perform every
+// external interaction of the span for real (predictor training,
+// hierarchy accesses, dependence-predictor op costs, channel grants,
+// completion records) in captured order, then shift the whole joint
+// state by (dg, dc). After this the machine is in exactly the state a
+// ticked execution of the span would have left it in.
+func (m *Machine) pairApply(tpl *pairTemplate, now int64, pos int) {
+	h := m.phb
+	dg := tpl.dg
+	dc := tpl.dc
+
+	// Shared predictor: replay the delivery-order observation sequence
+	// (same switch as sequencer.observeControl). The precheck proved
+	// every observation correct on the overlay, so training here only
+	// reinforces — a divergence means the overlay lied.
+	pred := m.seq.pred
+	for i := 0; i < dg; i++ {
+		d := m.tr.At(pos + i)
+		switch d.Class {
+		case isa.ClassBranch:
+			if !pred.ObserveBranch(d.PC, d.Taken) {
+				panic("core: pair hot-block replay diverged from predictor precheck")
+			}
+		case isa.ClassJump:
+			ok := true
+			switch {
+			case d.IsRet:
+				ok = pred.ObserveReturn(d.Target)
+			case d.Indirect:
+				ok = pred.ObserveIndirect(d.PC, d.Target)
+			}
+			if d.IsCall {
+				pred.ObserveCall(d.PC + isa.InstBytes)
+			}
+			if !ok {
+				panic("core: pair hot-block replay diverged from predictor precheck")
+			}
+		}
+	}
+
+	// Memory hierarchy: both cores' accesses and the sequencer's
+	// cooperative fetches, merged in captured order (peer-L1D
+	// invalidations make the interleaving significant).
+	for _, a := range tpl.mem {
+		d := m.tr.At(pos + int(a.PosOff))
+		hr := m.hiers[a.Core]
+		switch a.Kind {
+		case ooo.HBMemFetch:
+			if hr.Fetch(d.PC) != int(a.Lat) {
+				panic("core: pair hot-block replay diverged from cache precheck")
+			}
+		case ooo.HBMemLoad:
+			if hr.Load(d.Addr) != int(a.Lat) {
+				panic("core: pair hot-block replay diverged from cache precheck")
+			}
+		case ooo.HBMemStore:
+			hr.Store(d.Addr)
+		}
+	}
+
+	// Dependence predictors: bulk op-cost advance (the precheck proved
+	// no clear falls inside and every bit answers as recorded).
+	m.depPred.HBAdvance(tpl.mdepOps)
+	m.cores[0].HBDepPred().HBAdvance(tpl.depCalls[0])
+	m.cores[1].HBDepPred().HBAdvance(tpl.depCalls[1])
+
+	// Channel grants: performed for real so ring occupancy, comm_*
+	// statistics and prune/slide bookkeeping evolve exactly as ticked.
+	for i := range tpl.grants {
+		g := &tpl.grants[i]
+		t := m.chans[g.dst].grant(now + g.reqOff)
+		if t != now+g.tOff {
+			panic("core: pair hot-block replay diverged from channel precheck")
+		}
+		m.deliver[g.dst].Put(m.pairProd(pos, g.consOff, g.srcIdx), t)
+	}
+
+	// Completion records of the span's non-replica issues.
+	for i := range tpl.issues {
+		is := &tpl.issues[i]
+		m.completeAt.Put(uint64(pos+int(is.gOff)), now+is.ctOff)
+	}
+
+	// Shift the partial-commit counts that survive the span (pinned by
+	// the vector to match the capture exit).
+	h.cdbuf = h.cdbuf[:0]
+	for g := m.nextCommit; g < uint64(pos); g++ {
+		if n, ok := m.commitsDone.Get(g); ok {
+			h.cdbuf = append(h.cdbuf, pairCDEntry{g: g, n: n})
+		}
+	}
+	for _, e := range h.cdbuf {
+		m.commitsDone.Delete(e.g)
+	}
+	for _, e := range h.cdbuf {
+		m.commitsDone.Put(e.g+uint64(dg), e.n)
+	}
+	m.nextCommit += uint64(dg)
+	m.lastCommitCycle = now + tpl.lastCommitOff
+
+	// Store trackers: entries shift by dg with flags intact (gseqs never
+	// reach the flag bit).
+	for i := 0; i < 2; i++ {
+		t := m.pendingStores[i]
+		for j := t.head; j < len(t.pend); j++ {
+			t.pend[j] += uint64(dg)
+		}
+	}
+
+	// Sequencer: position, stall horizon and statistics. stallUntil is
+	// shifted unconditionally — when inactive it is in the past on both
+	// sides of the shift, and cannot move into the future because the
+	// vector pins the active-stall residue. lastFetchLine needs no
+	// action: the vector pins it absolutely and the span's fetches left
+	// it where the capture exit did.
+	s := m.seq
+	s.pos += uint64(dg)
+	s.stallUntil += dc
+	s.ICacheStalls += tpl.seqd.icacheStalls
+	s.WindowStalls += tpl.seqd.windowStalls
+	s.BranchStalls += tpl.seqd.branchStalls
+	s.Delivered += tpl.seqd.delivered
+	s.ReplicaDeliveries += tpl.seqd.replicaDeliveries
+	m.SpecLoads += tpl.machd.specLoads
+	m.GatedLoads += tpl.machd.gatedLoads
+	m.ForwardedRemote += tpl.machd.forwardedRemote
+
+	// Fetch-queue items: re-key and re-point into the trace and the
+	// steering cache (Replica flags are positional and unchanged).
+	for i := 0; i < 2; i++ {
+		st := s.streams[i]
+		for k := 0; k < st.n; k++ {
+			it := &st.buf[(st.head+k)&st.mask]
+			it.GSeq += uint64(dg)
+			it.DI = m.tr.At(int(it.GSeq))
+			it.Deps = &m.st.info(it.GSeq).deps
+		}
+	}
+
+	// Cores: report deltas, full state shift, per-core progress anchors.
+	fix := func(u *ooo.UOp) {
+		u.Item.Deps = &m.st.info(u.Item.GSeq).deps
+	}
+	for i := 0; i < 2; i++ {
+		m.cores[i].HBAddReport(&tpl.rptd[i])
+		m.cores[i].HBShiftState(m.tr, uint64(dg), dc, fix)
+		if tpl.coreCommitted[i] {
+			m.cores[i].HBSetLastCommitAt(now + tpl.coreCommitOff[i])
+		}
+	}
+
+	// The commit frontier is recomputed at the top of every Cycle from
+	// the shifted state; hasSquash is always false at a drain top. The
+	// detector's lastSeenPos is left alone: the next drain top sees the
+	// shifted position as new and may chain straight into another
+	// replay.
+}

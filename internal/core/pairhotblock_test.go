@@ -1,0 +1,294 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faults"
+	"repro/internal/hotblock"
+	"repro/internal/ooo"
+)
+
+// pairHBCfg mirrors ooo's hbTestConfig: aggressive thresholds so short
+// test traces arm and replay templates.
+func pairHBCfg() hotblock.Config {
+	return hotblock.Config{Threshold: 4, MinSpanInsts: 8}
+}
+
+// runPairJSON drains a fresh machine with the joint hot-block engine
+// (or ticked, as the oracle) and returns the serialised summary plus
+// the engine counters.
+func runPairJSON(t *testing.T, cfg config.Machine, trName string, insts uint64, hotblockOn bool) (string, hotblock.Counters) {
+	t.Helper()
+	tr := wkTrace(t, trName, insts)
+	var ctrs hotblock.Counters
+	if hotblockOn {
+		hb := pairHBCfg()
+		r, err := RunWith(cfg, tr, RunOptions{HotBlockConfig: &hb, HotBlock: &ctrs})
+		if err != nil {
+			t.Fatalf("%s/%s hotblock: %v", cfg.Name, trName, err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), ctrs
+	}
+	m := mustMachine(t, cfg, tr)
+	cycles, err := m.DrainTicked()
+	if err != nil {
+		t.Fatalf("%s/%s ticked: %v", cfg.Name, trName, err)
+	}
+	b, err := json.Marshal(m.Summarize(cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), ctrs
+}
+
+// The joint engine is byte-exact against the fully ticked machine:
+// identical serialised summaries across presets and workloads, for both
+// template kinds (pair and periodic-miss). Coverage is asserted
+// separately so a silently-disarmed engine cannot pass vacuously.
+func TestPairHotBlockVsTickedDifferential(t *testing.T) {
+	noSpec := config.Small()
+	noSpec.Name = "small-nospec"
+	noSpec.FgSTP.DepSpeculation = false
+	cfgs := []config.Machine{config.Small(), config.Medium(), noSpec}
+	wls := []string{"gcc", "mcf", "milc", "hmmer", "libquantum"}
+	for _, cfg := range cfgs {
+		for _, wl := range wls {
+			hb, _ := runPairJSON(t, cfg, wl, 6_000, true)
+			tick, _ := runPairJSON(t, cfg, wl, 6_000, false)
+			if hb != tick {
+				t.Errorf("%s/%s: hot-block and ticked summaries diverge\n hotblock: %s\n ticked:   %s",
+					cfg.Name, wl, hb, tick)
+			}
+		}
+	}
+}
+
+// Longer loop-heavy runs must actually replay — pair templates on the
+// dependence-bound loops, periodic-miss templates on the streaming
+// workload — and still match the ticked oracle byte for byte.
+func TestPairHotBlockReplayCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		wl           string
+		insts        uint64
+		wantPeriodic bool
+	}{
+		{"mcf", 30_000, true},
+		{"hmmer", 30_000, false},
+	} {
+		hb, ctrs := runPairJSON(t, config.Medium(), tc.wl, tc.insts, true)
+		tick, _ := runPairJSON(t, config.Medium(), tc.wl, tc.insts, false)
+		if hb != tick {
+			t.Errorf("%s: hot-block and ticked summaries diverge\n hotblock: %s\n ticked:   %s", tc.wl, hb, tick)
+		}
+		if ctrs.ReplaysPair == 0 || ctrs.ReplayedInsts == 0 {
+			t.Errorf("%s: no pair replays engaged: %+v", tc.wl, ctrs)
+		}
+		if tc.wantPeriodic && ctrs.TemplatesPeriodic == 0 {
+			t.Errorf("%s: streaming workload armed no periodic-miss templates: %+v", tc.wl, ctrs)
+		}
+	}
+}
+
+// Store-set dependence mode mutates its tables on every delivery, so
+// the engine must decline (counted) and leave the run bit-identical to
+// an explicitly disabled one.
+func TestPairHotBlockDeclinesStoreSets(t *testing.T) {
+	cfg := config.Medium()
+	cfg.Name = "medium-storesets"
+	cfg.FgSTP.UseStoreSets = true
+	tr := wkTrace(t, "mcf", 6_000)
+	var ctrs hotblock.Counters
+	hb := pairHBCfg()
+	on, err := RunWith(cfg, tr, RunOptions{HotBlockConfig: &hb, HotBlock: &ctrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrs.DeclinedVisibility != 1 {
+		t.Errorf("store-set run not counted as declined: %+v", ctrs)
+	}
+	if ctrs.Replays != 0 || ctrs.Templates != 0 {
+		t.Errorf("declined engine still ran: %+v", ctrs)
+	}
+	off, err := RunWith(cfg, tr, RunOptions{DisableHotBlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(on)
+	bj, _ := json.Marshal(off)
+	if string(aj) != string(bj) {
+		t.Errorf("declined run diverges from disabled run\n declined: %s\n disabled: %s", aj, bj)
+	}
+}
+
+// Lockstep audit: the replaying machine and a fully ticked oracle
+// machine advance side by side, and at every replay exit (and at the
+// end) the entire summary — cycle count, channel statistics, both
+// cores' reports, every CPI-stack bucket — must agree. Sharper than the
+// end-to-end differential: it pins the first divergent replay with the
+// state delta at its exit instead of a diverged final summary.
+func TestPairHotBlockReplayAuditLockstep(t *testing.T) {
+	cfg := config.Medium()
+	tr := wkTrace(t, "mcf", 20_000)
+	a := mustMachine(t, cfg, tr)
+	var ctrs hotblock.Counters
+	if !a.EnablePairHotBlock(pairHBCfg(), &ctrs) {
+		t.Fatal("EnablePairHotBlock declined")
+	}
+	b := mustMachine(t, cfg, tr)
+
+	var now, bnow, lastProgress int64
+	lastCommit := a.nextCommit
+	limit := int64(tr.Len()+1000) * maxCyclesPerInst
+	check := func(where string) {
+		t.Helper()
+		for bnow < now {
+			b.Cycle(bnow)
+			bnow++
+		}
+		aj, err := json.Marshal(a.Summarize(now))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(b.Summarize(bnow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Fatalf("%s at cycle %d: state diverges\n hotblock: %s\n ticked:   %s", where, now, aj, bj)
+		}
+	}
+	replays := 0
+	for !a.Done() {
+		if a.nextCommit != lastCommit {
+			lastCommit, lastProgress = a.nextCommit, now
+		}
+		if now-lastProgress > ooo.LivelockWindow || now > limit {
+			t.Fatalf("livelock at cycle %d", now)
+		}
+		if end, ok := a.pairTop(now, lastProgress, limit); ok {
+			now = end
+			lastCommit = a.nextCommit
+			lastProgress = a.lastCommitCycle + 1
+			replays++
+			// Every exit for the first replays, then sampled: the audit
+			// cost is the ticked oracle, not the comparison.
+			if replays <= 50 || replays%64 == 0 {
+				check("replay exit")
+			}
+			continue
+		}
+		if next := a.NextEvent(now); next > now {
+			if w := lastProgress + ooo.LivelockWindow + 1; next > w {
+				next = w
+			}
+			if next > limit+1 {
+				next = limit + 1
+			}
+			a.SkipTo(now, next)
+			now = next
+			continue
+		}
+		a.Cycle(now)
+		now++
+	}
+	if replays == 0 {
+		t.Fatal("audit vacuous: no replays engaged")
+	}
+	check("final")
+	if !b.Done() {
+		t.Fatalf("ticked oracle not done at cycle %d", now)
+	}
+}
+
+// Fault injection must keep the engine off end to end: with a channel
+// stall installed (the same injector the watchdog tests drive), a
+// hot-block-requested run and a disabled one must fail — or finish —
+// identically, including the forensic livelock snapshot.
+func TestPairHotBlockWithChannelStallDeclines(t *testing.T) {
+	tr := wkTrace(t, "gcc", 4_000)
+	run := func(hotblockOn bool) (*LivelockError, hotblock.Counters) {
+		var ctrs hotblock.Counters
+		opts := RunOptions{Faults: faults.ChannelStall(200), DisableHotBlock: !hotblockOn}
+		if hotblockOn {
+			hb := pairHBCfg()
+			opts.HotBlockConfig = &hb
+			opts.HotBlock = &ctrs
+		}
+		_, err := RunWith(config.Medium(), tr, opts)
+		if err == nil {
+			t.Fatal("stalled channel drained cleanly")
+		}
+		var le *LivelockError
+		if !errors.As(err, &le) {
+			t.Fatalf("no LivelockError in %v", err)
+		}
+		return le, ctrs
+	}
+	on, ctrs := run(true)
+	off, _ := run(false)
+	if ctrs.DeclinedVisibility != 1 || ctrs.Replays != 0 {
+		t.Errorf("faulty run not declined: %+v", ctrs)
+	}
+	if *on != *off {
+		t.Errorf("livelock snapshots diverge\n hotblock: %+v\n disabled: %+v", *on, *off)
+	}
+}
+
+// Replay must stay exact across squashes and template invalidation:
+// randomized workload/shape combinations (the corpus seeds mirror the
+// channel-stall injector tests' traces) drive capture, invalidation and
+// re-capture, and every run must match the ticked oracle byte for
+// byte. Faulted shapes additionally pin the decline path.
+func FuzzPairTemplateReplay(f *testing.F) {
+	f.Add(int64(1), uint16(4_000), uint8(0)) // gcc/4k: the channel-stall trace
+	f.Add(int64(2), uint16(9_000), uint8(1))
+	f.Add(int64(3), uint16(12_000), uint8(2))
+	f.Add(int64(4), uint16(6_000), uint8(3))
+	f.Add(int64(5), uint16(15_000), uint8(4))
+	wls := []string{"gcc", "mcf", "milc", "hmmer", "sjeng", "libquantum", "gobmk"}
+	f.Fuzz(func(t *testing.T, seed int64, steps uint16, shape uint8) {
+		insts := 1_000 + uint64(steps)%15_000
+		wl := wls[uint64(seed%int64(len(wls))+int64(len(wls)))%uint64(len(wls))]
+		cfg := config.Medium()
+		switch shape % 5 {
+		case 1:
+			cfg = config.Small()
+		case 2:
+			cfg = config.Small()
+			cfg.Name = "small-nospec"
+			cfg.FgSTP.DepSpeculation = false
+		case 3:
+			cfg.Name = "medium-chan"
+			cfg.FgSTP.CommLatency = 5
+			cfg.FgSTP.CommBandwidth = 1
+		case 4:
+			cfg.Name = "medium-window"
+			cfg.FgSTP.Window = 96
+		}
+		tr := wkTrace(t, wl, insts)
+		var ctrs hotblock.Counters
+		hb := pairHBCfg()
+		r, err := RunWith(cfg, tr, RunOptions{HotBlockConfig: &hb, HotBlock: &ctrs})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", cfg.Name, wl, err)
+		}
+		m := mustMachine(t, cfg, tr)
+		cycles, err := m.DrainTicked()
+		if err != nil {
+			t.Fatalf("%s/%s ticked: %v", cfg.Name, wl, err)
+		}
+		aj, _ := json.Marshal(r)
+		bj, _ := json.Marshal(m.Summarize(cycles))
+		if string(aj) != string(bj) {
+			t.Fatalf("%s/%s insts=%d: hot-block diverges from ticked\n hotblock: %s\n ticked:   %s\n counters: %+v",
+				cfg.Name, wl, insts, aj, bj, ctrs)
+		}
+	})
+}

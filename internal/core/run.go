@@ -88,15 +88,15 @@ type RunOptions struct {
 	Faults Faults
 	// Sink receives pipeline events from the machine and both cores.
 	Sink metrics.Sink
-	// Hot-block memoization knobs, accepted for interface uniformity.
-	// The Fg-STP pair never replays: its cores run under cross-core
-	// hooks (steering, the inter-core value channel, sequencer-gated
-	// commit), which make a drain top's future depend on the sibling
-	// core's state — ooo's EnableHotBlock declines such cores, so
-	// HotBlock counters stay zero in this mode. The fields exist so a
-	// future gating-aware template engine (replay only when GateOpenAt
-	// shows the cross-core frontier quiescent) can slot in without an
-	// API change.
+	// Hot-block memoization knobs. The Fg-STP pair's cores run under
+	// cross-core hooks (steering, the inter-core value channel,
+	// sequencer-gated commit), so per-core templates are impossible —
+	// ooo's EnableHotBlock declines hooked cores. Instead the machine
+	// engages its own JOINT engine (EnablePairHotBlock, in
+	// internal/core/hotblock.go), which captures both cores, the
+	// sequencer and the cross-core event log as one template and
+	// replays them together. The engine declines runs with fault
+	// injection, an event sink, or store-set dependence mode.
 	DisableHotBlock bool
 	HotBlockConfig  *hotblock.Config
 	HotBlock        *hotblock.Counters
@@ -117,10 +117,7 @@ func RunWith(cfg config.Machine, tr *trace.Trace, opts RunOptions) (stats.Run, e
 		if opts.HotBlockConfig != nil {
 			hcfg = *opts.HotBlockConfig
 		}
-		// Offered to both cores; they decline today (see RunOptions).
-		for _, c := range m.cores {
-			c.EnableHotBlock(hcfg, opts.HotBlock)
-		}
+		m.EnablePairHotBlock(hcfg, opts.HotBlock)
 	}
 	cycles, err := m.Drain()
 	if err != nil {
@@ -158,6 +155,17 @@ func (m *Machine) drain(skip bool) (int64, error) {
 		}
 		if now-lastProgress > ooo.LivelockWindow || now > limit {
 			return now, m.livelockSnapshot(now, now-lastProgress)
+		}
+		if skip && m.phb != nil {
+			if end, ok := m.pairTop(now, lastProgress, limit); ok {
+				// A joint template replay covered [now, end). Re-anchor
+				// the watchdog exactly as the ticked path would have:
+				// the first loop top after the span's final commit.
+				now = end
+				lastCommit = m.nextCommit
+				lastProgress = m.lastCommitCycle + 1
+				continue
+			}
 		}
 		if skip {
 			if next := m.NextEvent(now); next > now {

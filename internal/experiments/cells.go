@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cmp"
 	"repro/internal/config"
+	"repro/internal/hotblock"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -36,6 +37,15 @@ type CellFunc func(m config.Machine, mode cmp.Mode, w workloads.Workload, tr *tr
 // deliberately outside any memoisation contract.
 func (s *Session) SetCellRunner(fn CellFunc) { s.r.cell = fn }
 
+// SetHotBlock aggregates the hot-block replay telemetry of every clean
+// cell the session simulates directly on the engine into c (nil
+// detaches). Cells served by an installed CellFunc are outside the
+// aggregate — a memoised cell replays no blocks — so a caller that also
+// installs a cell runner only sees the cells that actually simulated.
+// The counters never enter any rendered document: experiment output is
+// byte-identical with and without a sink attached.
+func (s *Session) SetHotBlock(c *hotblock.Counters) { s.r.hb = c }
+
 // cellRun is the single interception point between the experiment
 // harness and the simulation engine: every clean cell of every
 // experiment funnels through here (the in-session single-flight
@@ -46,7 +56,18 @@ func (r *runner) cellRun(m config.Machine, mode cmp.Mode, w workloads.Workload) 
 	if r.cell != nil {
 		return r.cell(m, mode, w, tr)
 	}
-	return cmp.Run(m, mode, tr)
+	if r.hb == nil {
+		return cmp.Run(m, mode, tr)
+	}
+	// A telemetry sink is attached: give the run its own counters (the
+	// engine writes them single-threaded) and fold them into the shared
+	// aggregate under the session lock — cells run concurrently.
+	var local hotblock.Counters
+	run, err := cmp.RunOpts(m, mode, tr, cmp.Options{HotBlock: &local})
+	r.hbMu.Lock()
+	r.hb.Merge(local)
+	r.hbMu.Unlock()
+	return run, err
 }
 
 // Cell identifies one simulation cell of an experiment: the full

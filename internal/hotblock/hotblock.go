@@ -201,11 +201,43 @@ type Counters struct {
 	ReplayedCycles uint64
 	// ReplayedInsts counts instructions committed through replays.
 	ReplayedInsts uint64
+	// TemplatesPeriodic counts the subset of Templates captured with a
+	// recurring miss pattern (the all-hit precondition relaxed to a
+	// probe-proven recurring hierarchy response); TemplatesPair and
+	// ReplaysPair count the Fg-STP pair engine's joint two-core
+	// templates and their replays (subsets of Templates/Replays).
+	TemplatesPeriodic uint64
+	TemplatesPair     uint64
+	ReplaysPair       uint64
 	// InvalidationsSquash counts templates dropped (or captures
 	// aborted) because a squash crossed the block; InvalidationsPrecond
 	// counts failed replay precondition checks.
 	InvalidationsSquash  uint64
 	InvalidationsPrecond uint64
+	// Precond* split InvalidationsPrecond by the first check that
+	// refused: the watchdog/trace window, the normalized state vector,
+	// the span shape or address partition, the hierarchy response (the
+	// all-hit lookup or the miss-pattern probe), the branch predictor
+	// overlay, the dependence predictor, and the pair engine's joint
+	// checks (steer decisions, channel schedule, delivery/completion
+	// tables). They sum to InvalidationsPrecond.
+	PrecondWindow uint64
+	PrecondVector uint64
+	PrecondShape  uint64
+	PrecondCache  uint64
+	PrecondPred   uint64
+	PrecondDep    uint64
+	PrecondPair   uint64
+	// AbortsSpanLimit counts capture attempts aborted for exceeding the
+	// span bounds without recurrence; AbortsUnsteady those aborted by a
+	// non-recurring event (squash-free poison: mispredict, violation,
+	// dependence-table clear). DeclinedVisibility counts cores that
+	// refused to engage an engine because their state is not locally
+	// visible (cross-core hooks or an external sequencer without the
+	// pair engine, store-set mode, fault injection).
+	AbortsSpanLimit    uint64
+	AbortsUnsteady     uint64
+	DeclinedVisibility uint64
 }
 
 // Merge accumulates o into c.
@@ -214,8 +246,21 @@ func (c *Counters) Merge(o Counters) {
 	c.Replays += o.Replays
 	c.ReplayedCycles += o.ReplayedCycles
 	c.ReplayedInsts += o.ReplayedInsts
+	c.TemplatesPeriodic += o.TemplatesPeriodic
+	c.TemplatesPair += o.TemplatesPair
+	c.ReplaysPair += o.ReplaysPair
 	c.InvalidationsSquash += o.InvalidationsSquash
 	c.InvalidationsPrecond += o.InvalidationsPrecond
+	c.PrecondWindow += o.PrecondWindow
+	c.PrecondVector += o.PrecondVector
+	c.PrecondShape += o.PrecondShape
+	c.PrecondCache += o.PrecondCache
+	c.PrecondPred += o.PrecondPred
+	c.PrecondDep += o.PrecondDep
+	c.PrecondPair += o.PrecondPair
+	c.AbortsSpanLimit += o.AbortsSpanLimit
+	c.AbortsUnsteady += o.AbortsUnsteady
+	c.DeclinedVisibility += o.DeclinedVisibility
 }
 
 // AddTo publishes the counters into a metrics registry under the
@@ -225,8 +270,21 @@ func (c *Counters) AddTo(reg *metrics.Registry) {
 	reg.Set("hotblock_replays", float64(c.Replays))
 	reg.Set("hotblock_replayed_cycles", float64(c.ReplayedCycles))
 	reg.Set("hotblock_replayed_insts", float64(c.ReplayedInsts))
+	reg.Set("hotblock_templates_periodic", float64(c.TemplatesPeriodic))
+	reg.Set("hotblock_templates_pair", float64(c.TemplatesPair))
+	reg.Set("hotblock_replays_pair", float64(c.ReplaysPair))
 	reg.Set("hotblock_invalidations_squash", float64(c.InvalidationsSquash))
 	reg.Set("hotblock_invalidations_precond", float64(c.InvalidationsPrecond))
+	reg.Set("hotblock_precond_window", float64(c.PrecondWindow))
+	reg.Set("hotblock_precond_vector", float64(c.PrecondVector))
+	reg.Set("hotblock_precond_shape", float64(c.PrecondShape))
+	reg.Set("hotblock_precond_cache", float64(c.PrecondCache))
+	reg.Set("hotblock_precond_pred", float64(c.PrecondPred))
+	reg.Set("hotblock_precond_dep", float64(c.PrecondDep))
+	reg.Set("hotblock_precond_pair", float64(c.PrecondPair))
+	reg.Set("hotblock_aborts_span_limit", float64(c.AbortsSpanLimit))
+	reg.Set("hotblock_aborts_unsteady", float64(c.AbortsUnsteady))
+	reg.Set("hotblock_declined_visibility", float64(c.DeclinedVisibility))
 }
 
 // defaultDisabled is the process-wide kill switch behind the CLIs'

@@ -223,12 +223,15 @@ type Core struct {
 	sink metrics.Sink
 
 	// Hot-block timing memoization (hotblock.go). hb is nil when
-	// disabled; hbrec is non-nil only while a capture span is recording
-	// hierarchy/dep-predictor interactions; lastCommitAt is the cycle of
-	// the most recent committed instruction (the drain watchdog's
-	// progress anchor after a bulk replay).
+	// disabled; hblog is non-nil only while a capture span is recording
+	// hierarchy/dep-predictor interactions (hbtag is the core id stamped
+	// on each record — 0 single-core, the core index under the pair
+	// engine); lastCommitAt is the cycle of the most recent committed
+	// instruction (the drain watchdog's progress anchor after a bulk
+	// replay).
 	hb           *hbCtl
-	hbrec        *hbRecorder
+	hblog        *HBLog
+	hbtag        int8
 	lastCommitAt int64
 }
 
@@ -416,7 +419,7 @@ func (c *Core) SetEventSink(sink metrics.Sink, coreID int) {
 	// exclusive: a replayed span emits no per-uop events, so traced runs
 	// fall back to the plain engine.
 	c.hb = nil
-	c.hbrec = nil
+	c.hblog = nil
 	c.sink = metrics.CoreSink{Sink: sink, Core: coreID}
 }
 
@@ -506,8 +509,8 @@ func (c *Core) fetch(now int64) {
 			line := c.hier.L1I.LineAddr(item.DI.PC)
 			if line != c.lastFetchLine {
 				lat := c.hier.Fetch(item.DI.PC)
-				if c.hbrec != nil {
-					c.hbrec.recMem(hbMemFetch, item.GSeq)
+				if c.hblog != nil {
+					c.hblog.RecMem(c.hbtag, HBMemFetch, item.GSeq, lat)
 				}
 				c.lastFetchLine = line
 				if hit := c.hier.L1I.Config().LatencyCycles; lat > hit {
@@ -1132,8 +1135,8 @@ func (c *Core) loadReady(u *UOp, now int64) (bool, int) {
 			// the full-queue scan made (the count drives the predictor's
 			// periodic clear).
 			wait := c.dep.MustWaitN(u.DI().PC, unissuedOlder)
-			if c.hbrec != nil && c.dep.table != nil {
-				c.hbrec.recDep(u.Item.GSeq, unissuedOlder, wait)
+			if c.hblog != nil && c.dep.table != nil {
+				c.hblog.RecDep(c.hbtag, u.Item.GSeq, unissuedOlder, wait)
 			}
 			if wait {
 				return false, 0
@@ -1169,8 +1172,8 @@ func (c *Core) loadReady(u *UOp, now int64) (bool, int) {
 		return true, 1
 	}
 	lat := c.hier.Load(u.DI().Addr)
-	if c.hbrec != nil {
-		c.hbrec.recMem(hbMemLoad, u.Item.GSeq)
+	if c.hblog != nil {
+		c.hblog.RecMem(c.hbtag, HBMemLoad, u.Item.GSeq, lat)
 	}
 	if c.hooks != nil {
 		lat += c.hooks.LoadExtraLatency(u)
@@ -1228,9 +1231,9 @@ func (c *Core) commit(now int64) {
 		}
 		d := u.DI()
 		if d.IsStore() {
-			c.hier.Store(d.Addr)
-			if c.hbrec != nil {
-				c.hbrec.recMem(hbMemStore, u.Item.GSeq)
+			lat := c.hier.Store(d.Addr)
+			if c.hblog != nil {
+				c.hblog.RecMem(c.hbtag, HBMemStore, u.Item.GSeq, lat)
 			}
 		}
 		c.lastCommitAt = now

@@ -50,6 +50,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/hotblock"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/trace"
 )
 
@@ -61,56 +62,85 @@ const hbNone = int64(-1) << 40
 
 // ------------------------------------------------------------ recording
 
-// hbMemKind tags one recorded memory-hierarchy access.
-type hbMemKind uint8
+// HBMemKind tags one recorded memory-hierarchy access.
+type HBMemKind uint8
 
 const (
-	hbMemFetch hbMemKind = iota // Hierarchy.Fetch (I-cache line cross)
-	hbMemLoad                   // Hierarchy.Load (non-forwarded load issue)
-	hbMemStore                  // Hierarchy.Store (store commit)
+	HBMemFetch HBMemKind = iota // Hierarchy.Fetch (I-cache line cross)
+	HBMemLoad                   // Hierarchy.Load (non-forwarded load issue)
+	HBMemStore                  // Hierarchy.Store (store commit)
 )
 
-// hbMemAccess is one hierarchy call made during a capture span, keyed
+// HBMemAccess is one hierarchy call made during a capture span, keyed
 // by the trace position of the uop that caused it relative to the
-// span's entry position. Loads and stores of uops already in flight at
+// span's entry position and tagged with the core that made it (always 0
+// on a single core; the Fg-STP pair engine merges both cores' logs into
+// one shared HBLog). Loads and stores of uops already in flight at
 // entry give negative offsets (bounded by the template's backSpan);
-// fetches are always in-span.
-type hbMemAccess struct {
-	kind   hbMemKind
-	posOff int32
+// fetches are always in-span. Lat records the latency the hierarchy
+// answered — the only part of a hierarchy response the core can
+// observe — so replay preconditions can accept recurring misses, not
+// just all-hit spans (see hbProbeMatch).
+type HBMemAccess struct {
+	Kind   HBMemKind
+	Core   int8
+	PosOff int32
+	Lat    int32
 }
 
-// hbDepQuery is one dependence-predictor query (MustWaitN call) made
-// during a capture span: which load asked (position offset), how many
-// unissued older stores it faced (the predictor's op-counter cost), and
-// what the answer was.
-type hbDepQuery struct {
-	posOff int32
-	n      int32
-	wait   bool
+// HBDepQuery is one dependence-predictor query (MustWaitN call) made
+// during a capture span: which core's load asked (position offset), how
+// many unissued older stores it faced (the predictor's op-counter
+// cost), and what the answer was.
+type HBDepQuery struct {
+	Core   int8
+	PosOff int32
+	N      int32
+	Wait   bool
 }
 
-// hbRecorder accumulates the external-interaction log of one capture
-// span. The core's record sites (fetch, load issue, store commit,
-// dependence query) append to it only while Core.hbrec is non-nil.
-type hbRecorder struct {
+// HBLog accumulates the external-interaction log of one capture span.
+// The core's record sites (fetch, load issue, store commit, dependence
+// query) append to it only while Core.hblog is non-nil; the pair engine
+// shares one log between both cores and the sequencer, each appending
+// under its own core tag.
+type HBLog struct {
 	basePos int
-	mem     []hbMemAccess
-	dep     []hbDepQuery
+	Mem     []HBMemAccess
+	Dep     []HBDepQuery
 }
 
-func (r *hbRecorder) reset(basePos int) {
+// Reset empties the log and rebases position offsets on basePos.
+func (r *HBLog) Reset(basePos int) {
 	r.basePos = basePos
-	r.mem = r.mem[:0]
-	r.dep = r.dep[:0]
+	r.Mem = r.Mem[:0]
+	r.Dep = r.Dep[:0]
 }
 
-func (r *hbRecorder) recMem(kind hbMemKind, gseq uint64) {
-	r.mem = append(r.mem, hbMemAccess{kind: kind, posOff: int32(int64(gseq) - int64(r.basePos))})
+// RecMem appends one hierarchy access with its answered latency.
+func (r *HBLog) RecMem(core int8, kind HBMemKind, gseq uint64, lat int) {
+	r.Mem = append(r.Mem, HBMemAccess{
+		Kind: kind, Core: core,
+		PosOff: int32(int64(gseq) - int64(r.basePos)),
+		Lat:    int32(lat),
+	})
 }
 
-func (r *hbRecorder) recDep(gseq uint64, n int, wait bool) {
-	r.dep = append(r.dep, hbDepQuery{posOff: int32(int64(gseq) - int64(r.basePos)), n: int32(n), wait: wait})
+// RecDep appends one dependence-predictor query.
+func (r *HBLog) RecDep(core int8, gseq uint64, n int, wait bool) {
+	r.Dep = append(r.Dep, HBDepQuery{
+		Core: core, PosOff: int32(int64(gseq) - int64(r.basePos)),
+		N: int32(n), Wait: wait,
+	})
+}
+
+// HBSetLog attaches (or detaches, log == nil) the recording log the
+// core's record sites append to, tagging every record with core tag.
+// The single-core engine attaches the controller's own log during
+// capture; the pair engine attaches one shared log to both cores.
+func (c *Core) HBSetLog(log *HBLog, tag int8) {
+	c.hblog = log
+	c.hbtag = tag
 }
 
 // ------------------------------------------------------------- template
@@ -131,8 +161,14 @@ type hbTemplate struct {
 	vec   []int64 // normalized entry state vector (== exit vector)
 	delta Report  // field-wise report delta over the span
 
-	mem      []hbMemAccess
-	dep      []hbDepQuery
+	// allHit marks a span whose every hierarchy access hit cache (zero
+	// L1 miss / L2 access / prefetch deltas). All-hit templates keep the
+	// cheap Lookup-based precheck; the rest — periodic-miss templates —
+	// prove recurrence with a full probe replay (hbProbeMatch).
+	allHit bool
+
+	mem      []HBMemAccess
+	dep      []HBDepQuery
 	depCalls uint64 // total MustWait op-counter cost of the dep log
 }
 
@@ -152,7 +188,19 @@ type hbCapEntry struct {
 
 	l1iMiss, l1dMiss, l2Acc, pref uint64
 	depOps, depClearAt            uint64
+
+	// closeFails counts block tops at which the open span failed to
+	// close (vector/occupancy not recurring). Warm-up spans — opened
+	// while the caches are still filling, so their entry snapshot can
+	// never recur — are evicted after hbMaxCloseFails instead of riding
+	// to the span limits; the cap still admits loops whose state recurs
+	// only every few iterations.
+	closeFails int
 }
+
+// hbMaxCloseFails bounds how many failed close attempts an open capture
+// survives before it is declared unsteady (see hbCapEntry.closeFails).
+const hbMaxCloseFails = 8
 
 // hbCtl is the per-core memoization controller.
 type hbCtl struct {
@@ -170,7 +218,7 @@ type hbCtl struct {
 	capturing bool
 	capB      *hotblock.Block
 	cap       hbCapEntry
-	rec       hbRecorder
+	rec       HBLog
 
 	// Chained-replay fast path: when a replay ends exactly where the
 	// next one would begin, the exit vector is a pure shift of the
@@ -182,6 +230,7 @@ type hbCtl struct {
 
 	vecbuf  []int64
 	scratch *bpred.Scratch
+	probe   *mem.Probe // lazily allocated; periodic-miss prechecks only
 	addrA   map[uint64]int32
 	addrB   map[uint64]int32
 }
@@ -195,7 +244,17 @@ type hbCtl struct {
 // pipeline-event sink (replayed spans emit no per-uop events). Call it
 // after NewCore and before the first cycle; ctrs may be nil.
 func (c *Core) EnableHotBlock(cfg hotblock.Config, ctrs *hotblock.Counters) bool {
-	if c.hooks != nil || c.cfg.ExternalFrontend || c.sink != nil {
+	if c.hooks != nil || c.cfg.ExternalFrontend {
+		// Cross-core visibility: hooks or an external sequencer make
+		// drain tops non-local to this core. The Fg-STP pair instead
+		// engages the pair-level engine (core.EnablePairHotBlock), which
+		// captures both cores plus the channel schedule jointly.
+		if ctrs != nil {
+			ctrs.DeclinedVisibility++
+		}
+		return false
+	}
+	if c.sink != nil {
 		return false
 	}
 	ts, ok := c.stream.(*TraceStream)
@@ -216,7 +275,7 @@ func (c *Core) EnableHotBlock(cfg hotblock.Config, ctrs *hotblock.Counters) bool
 		addrA:       make(map[uint64]int32),
 		addrB:       make(map[uint64]int32),
 	}
-	c.hbrec = nil
+	c.HBSetLog(nil, 0)
 	return true
 }
 
@@ -234,10 +293,14 @@ func (c *Core) HotBlockEnabled() bool { return c.hb != nil }
 func (c *Core) hotblockTop(now, lastProgress, limit int64) (int64, bool) {
 	h := c.hb
 	pos := h.ts.pos
-	if h.capturing &&
-		(now-h.cap.now > h.cfg.MaxSpanCycles || pos-h.cap.pos > h.cfg.MaxSpanInsts ||
-			c.hbSpanPoisoned()) {
-		c.hbAbortCapture(false)
+	if h.capturing {
+		if now-h.cap.now > h.cfg.MaxSpanCycles || pos-h.cap.pos > h.cfg.MaxSpanInsts {
+			h.ctrs.AbortsSpanLimit++
+			c.hbAbortCapture(false)
+		} else if c.hbSpanPoisoned() {
+			h.ctrs.AbortsUnsteady++
+			c.hbAbortCapture(false)
+		}
 	}
 	if pos == h.lastSeenPos {
 		return 0, false
@@ -250,6 +313,12 @@ func (c *Core) hotblockTop(now, lastProgress, limit int64) (int64, bool) {
 	if h.capturing {
 		if pc == h.capB.PC && pos-h.cap.pos >= h.cfg.MinSpanInsts {
 			c.hbTryClose(now, pos)
+			if h.capturing {
+				if h.cap.closeFails++; h.cap.closeFails > hbMaxCloseFails {
+					h.ctrs.AbortsUnsteady++
+					c.hbAbortCapture(false)
+				}
+			}
 		}
 		return 0, false
 	}
@@ -283,12 +352,7 @@ func (c *Core) hotblockTop(now, lastProgress, limit int64) (int64, bool) {
 
 func (c *Core) hbBeginCapture(b *hotblock.Block, now int64, pos int) {
 	h := c.hb
-	oldest := pos
-	if c.rob.len() > 0 {
-		oldest = int(c.rob.front().Item.GSeq)
-	} else if c.fetchq.len() > 0 {
-		oldest = int(c.fetchq.front().Item.GSeq)
-	}
+	oldest := c.HBOldestInFlight(pos)
 	h.capturing = true
 	h.capB = b
 	h.cap.now = now
@@ -303,19 +367,38 @@ func (c *Core) hbBeginCapture(b *hotblock.Block, now int64, pos int) {
 	h.cap.pref = c.hier.Prefetches
 	h.cap.depOps = c.dep.ops
 	h.cap.depClearAt = c.dep.clearAt
-	h.rec.reset(pos)
-	c.hbrec = &h.rec
+	h.cap.closeFails = 0
+	h.rec.Reset(pos)
+	c.HBSetLog(&h.rec, 0)
+}
+
+// HBOldestInFlight returns the trace position of the oldest in-flight
+// uop (ROB front, else fetch-queue front), or pos when the pipeline is
+// empty — the base of a capture span's backSpan.
+func (c *Core) HBOldestInFlight(pos int) int {
+	if c.rob.len() > 0 {
+		return int(c.rob.front().Item.GSeq)
+	}
+	if c.fetchq.len() > 0 {
+		return int(c.fetchq.front().Item.GSeq)
+	}
+	return pos
 }
 
 // hbSpanPoisoned reports whether an event that can never recur in a
-// steady-state span — a squash, a mispredict, a cache miss, a
-// prefetch, a dependence-table clear — has occurred since the open
-// capture's entry snapshot. Such a span can never close, so the
-// detector checks this at every top while capturing: aborting at the
-// first event (instead of when the frontier re-reaches the block
-// start) stops the recording work for doomed attempts after a handful
-// of instructions, which is what keeps the detector cheap on
-// streaming workloads whose every iteration misses the cache.
+// steady-state span — a squash, a mispredict, a dependence-table
+// clear — has occurred since the open capture's entry snapshot. Such a
+// span can never close, so the detector checks this at every top while
+// capturing: aborting at the first event (instead of when the frontier
+// re-reaches the block start) stops the recording work for doomed
+// attempts after a handful of instructions.
+//
+// Cache misses and prefetches deliberately do NOT poison: a streaming
+// loop whose every iteration misses the same way is exactly as steady
+// as an all-hit loop. The template records the latency pattern
+// (HBMemAccess.Lat) and replay proves its recurrence with a pure probe
+// (hbProbeMatch), so periodic-miss spans close into templates instead
+// of burning every capture attempt.
 func (c *Core) hbSpanPoisoned() bool {
 	h := c.hb
 	return c.rpt.Squashes != h.cap.rpt.Squashes ||
@@ -324,10 +407,6 @@ func (c *Core) hbSpanPoisoned() bool {
 		c.rpt.IndirectMispredicts != h.cap.rpt.IndirectMispredicts ||
 		c.rpt.Replicas != h.cap.rpt.Replicas ||
 		c.rpt.Squashed != h.cap.rpt.Squashed ||
-		c.hier.L1I.Stats.Misses != h.cap.l1iMiss ||
-		c.hier.L1D.Stats.Misses != h.cap.l1dMiss ||
-		c.hier.L2.Stats.Accesses != h.cap.l2Acc ||
-		c.hier.Prefetches != h.cap.pref ||
 		(c.dep.table != nil && c.dep.clearAt != h.cap.depClearAt)
 }
 
@@ -366,24 +445,34 @@ func (c *Core) hbTryClose(now int64, pos int) {
 		quick:         h.cap.quick,
 		vec:           slices.Clone(h.cap.vec),
 		delta:         rd,
-		mem:           slices.Clone(h.rec.mem),
-		dep:           slices.Clone(h.rec.dep),
+		allHit: c.hier.L1I.Stats.Misses == h.cap.l1iMiss &&
+			c.hier.L1D.Stats.Misses == h.cap.l1dMiss &&
+			c.hier.L2.Stats.Accesses == h.cap.l2Acc &&
+			c.hier.Prefetches == h.cap.pref,
+		mem: slices.Clone(h.rec.Mem),
+		dep: slices.Clone(h.rec.Dep),
 	}
 	for _, q := range tpl.dep {
-		if q.wait {
+		if q.Wait {
 			tpl.depCalls++
 		} else {
-			tpl.depCalls += uint64(q.n)
+			tpl.depCalls += uint64(q.N)
 		}
 	}
 	h.capturing = false
 	h.capB = nil
-	c.hbrec = nil
+	c.HBSetLog(nil, 0)
 	b.Template = tpl
 	b.Status = hotblock.Armed
 	b.Attempts = 0
-	b.Misses = 0
+	// b.Misses deliberately survives the re-arm: a successful replay
+	// resets it, so a block that thrashes between capture and failing
+	// preconditions (its miss pattern never actually recurring) still
+	// exhausts MaxPrecondMisses and dies.
 	h.ctrs.Templates++
+	if !tpl.allHit {
+		h.ctrs.TemplatesPeriodic++
+	}
 }
 
 // hbAbortCapture discards the open capture span. squash marks aborts
@@ -391,7 +480,7 @@ func (c *Core) hbTryClose(now int64, pos int) {
 func (c *Core) hbAbortCapture(squash bool) {
 	h := c.hb
 	h.capturing = false
-	c.hbrec = nil
+	c.HBSetLog(nil, 0)
 	b := h.capB
 	h.capB = nil
 	if b == nil {
@@ -443,29 +532,46 @@ func (c *Core) hbTryReplay(b *hotblock.Block, now int64, pos int, lastProgress, 
 	h := c.hb
 	tpl := b.Template.(*hbTemplate)
 	end := now + tpl.dc
-	ok := end <= lastProgress+LivelockWindow && end <= limit &&
-		pos-tpl.backSpan >= 0 && pos+tpl.dg <= h.tr.Len()
-	if ok {
-		// A replay chained directly onto the previous one starts from a
-		// pure shift of the template's exit state; its normalized vector
-		// is provably the template's own, so only the span-dependent
-		// checks (shape, addresses, external answers) remain.
-		chained := h.lastTpl == tpl && h.lastEndNow == now && h.lastEndPos == pos
-		if !chained {
-			ok = c.hbQuickState(now) == tpl.quick &&
-				slices.Equal(c.hbEncode(now, pos), tpl.vec)
-		}
-		ok = ok && c.hbShapeMatch(tpl, pos) && c.hbAddrMatch(tpl, pos) &&
-			c.hbCacheMatch(tpl, pos) && c.hbPredMatch(tpl, pos) &&
-			c.hbDepMatch(tpl, pos)
+	// Each precondition failure is attributed to the first check that
+	// refused, so coverage gaps are diagnosable per reason in telemetry.
+	var fail *uint64
+	switch {
+	case !(end <= lastProgress+LivelockWindow && end <= limit &&
+		pos-tpl.backSpan >= 0 && pos+tpl.dg <= h.tr.Len()):
+		fail = &h.ctrs.PrecondWindow
+	// A replay chained directly onto the previous one starts from a
+	// pure shift of the template's exit state; its normalized vector
+	// is provably the template's own, so only the span-dependent
+	// checks (shape, addresses, external answers) remain.
+	case !(h.lastTpl == tpl && h.lastEndNow == now && h.lastEndPos == pos) &&
+		!(c.hbQuickState(now) == tpl.quick &&
+			slices.Equal(c.hbEncode(now, pos), tpl.vec)):
+		fail = &h.ctrs.PrecondVector
+	case !c.hbShapeMatch(tpl, pos) || !c.hbAddrMatch(tpl, pos):
+		fail = &h.ctrs.PrecondShape
+	case !c.hbMemMatch(tpl, pos):
+		fail = &h.ctrs.PrecondCache
+	case !c.hbPredMatch(tpl, pos):
+		fail = &h.ctrs.PrecondPred
+	case !c.hbDepMatch(tpl, pos):
+		fail = &h.ctrs.PrecondDep
 	}
-	if !ok {
+	if fail != nil {
+		*fail++
 		b.Misses++
 		h.ctrs.InvalidationsPrecond++
 		if b.Misses >= h.cfg.MaxPrecondMisses {
 			b.Status = hotblock.Dead
 			b.Template = nil
 			b.ReviveAt = b.Count * 2
+		} else if fail == &h.ctrs.PrecondCache && !tpl.allHit {
+			// A periodic-miss template whose probe refused has seen its
+			// miss pattern shift (warm-up taper, streaming phase change).
+			// Recapture the current pattern now instead of burning the
+			// whole miss budget on a stale one; Misses persists across
+			// the re-arm, so a pattern that never recurs still dies.
+			b.Status = hotblock.Hot
+			b.Template = nil
 		}
 		return 0, false
 	}
@@ -543,6 +649,18 @@ func (c *Core) hbAddrMatch(tpl *hbTemplate, pos int) bool {
 	return true
 }
 
+// hbMemMatch proves, with pure reads only, that the memory hierarchy
+// would answer the span's access log with exactly the recorded
+// latencies — the condition under which the span's timing evolution
+// recurs. All-hit templates use the cheap Lookup path; periodic-miss
+// templates replay the log against a copy-on-write probe.
+func (c *Core) hbMemMatch(tpl *hbTemplate, pos int) bool {
+	if tpl.allHit {
+		return c.hbCacheMatch(tpl, pos)
+	}
+	return c.hbProbeMatch(tpl, pos)
+}
+
 // hbCacheMatch proves, with pure lookups, that every hierarchy access
 // the span will make hits — the condition under which the hierarchy
 // answers exactly as at capture (the template was closed under zero
@@ -555,13 +673,48 @@ func (c *Core) hbCacheMatch(tpl *hbTemplate, pos int) bool {
 	l1i, l1d := c.hier.L1I, c.hier.L1D
 	lineBytes := uint64(l1i.Config().LineBytes)
 	for _, a := range tpl.mem {
-		d := tr.At(pos + int(a.posOff))
-		if a.kind == hbMemFetch {
+		d := tr.At(pos + int(a.PosOff))
+		if a.Kind == HBMemFetch {
 			if !l1i.Lookup(d.PC) || !l1i.Lookup(l1i.LineAddr(d.PC)+lineBytes) {
 				return false
 			}
 		} else if !l1d.Lookup(d.Addr) {
 			return false
+		}
+	}
+	return true
+}
+
+// hbProbeMatch replays the template's access log against a
+// copy-on-write overlay of the live caches (mem.Probe) and requires
+// every Fetch and Load to answer its recorded latency. Latency is the
+// only part of a hierarchy response the core observes, so equality over
+// the whole log proves the ticked span would evolve exactly as at
+// capture — including periodic misses, evictions, prefetches and
+// peer-line invalidations, which the probe simulates in captured order.
+// Store latencies are recorded but not compared (the store-commit site
+// discards them); stores still run through the probe because their
+// state effects feed later fetch/load answers.
+func (c *Core) hbProbeMatch(tpl *hbTemplate, pos int) bool {
+	h := c.hb
+	if h.probe == nil {
+		h.probe = mem.NewProbe()
+	}
+	p := h.probe
+	p.Reset()
+	for _, a := range tpl.mem {
+		d := h.tr.At(pos + int(a.PosOff))
+		switch a.Kind {
+		case HBMemFetch:
+			if p.Fetch(c.hier, d.PC) != int(a.Lat) {
+				return false
+			}
+		case HBMemLoad:
+			if p.Load(c.hier, d.Addr) != int(a.Lat) {
+				return false
+			}
+		case HBMemStore:
+			p.Store(c.hier, d.Addr)
 		}
 	}
 	return true
@@ -620,8 +773,8 @@ func (c *Core) hbDepMatch(tpl *hbTemplate, pos int) bool {
 	}
 	tr := c.hb.tr
 	for _, q := range tpl.dep {
-		d := tr.At(pos + int(q.posOff))
-		if (p.table[p.index(d.PC)] != 0) != q.wait {
+		d := tr.At(pos + int(q.PosOff))
+		if (p.table[p.index(d.PC)] != 0) != q.Wait {
 			return false
 		}
 	}
@@ -665,20 +818,31 @@ func (c *Core) hbApply(tpl *hbTemplate, now int64, pos int) {
 		}
 	}
 	for _, a := range tpl.mem {
-		d := tr.At(pos + int(a.posOff))
-		switch a.kind {
-		case hbMemFetch:
+		d := tr.At(pos + int(a.PosOff))
+		switch a.Kind {
+		case HBMemFetch:
 			c.hier.Fetch(d.PC)
-		case hbMemLoad:
+		case HBMemLoad:
 			c.hier.Load(d.Addr)
-		case hbMemStore:
+		case HBMemStore:
 			c.hier.Store(d.Addr)
 		}
 	}
 	c.dep.ops += tpl.depCalls
 
-	addReport(&c.rpt, &tpl.delta)
+	c.HBAddReport(&tpl.delta)
+	c.HBShiftState(tr, dg, dc, nil)
+	c.lastCommitAt = now + tpl.lastCommitOff
+	h.ts.pos = pos + tpl.dg
+}
 
+// HBShiftState bulk-shifts every in-flight structure of the core by
+// (dg instructions, dc cycles): the shift half of a hot-block replay,
+// shared with the pair engine (which also repoints each uop's steer
+// metadata via fixup, called on every ROB and fetch-queue uop after its
+// shift). The caller owns the rest of the replay — external-state
+// updates, the report delta, lastCommitAt and the stream cursor.
+func (c *Core) HBShiftState(tr *trace.Trace, dg uint64, dc int64, fixup func(*UOp)) {
 	// Shift the window: clear every live window-table slot first so the
 	// re-inserts can assert collision freedom, then shift each uop in
 	// place (pointers — and with them the rat, lq/sq/cand entries and
@@ -688,7 +852,10 @@ func (c *Core) hbApply(tpl *hbTemplate, now int64, pos int) {
 	}
 	for i := 0; i < c.rob.len(); i++ {
 		u := c.rob.at(i)
-		c.hbShiftUOp(u, dg, dc)
+		c.hbShiftUOp(u, tr, dg, dc)
+		if fixup != nil {
+			fixup(u)
+		}
 		idx := u.Item.GSeq & c.wmask
 		if c.wtab[idx] != nil {
 			panic("ooo: hotblock window collision")
@@ -696,7 +863,11 @@ func (c *Core) hbApply(tpl *hbTemplate, now int64, pos int) {
 		c.wtab[idx] = u
 	}
 	for i := 0; i < c.fetchq.len(); i++ {
-		c.hbShiftUOp(c.fetchq.at(i), dg, dc)
+		u := c.fetchq.at(i)
+		c.hbShiftUOp(u, tr, dg, dc)
+		if fixup != nil {
+			fixup(u)
+		}
 	}
 	for i := 0; i < c.defq.len(); i++ {
 		// Deferred uops are committed: only their recycling time and the
@@ -727,8 +898,6 @@ func (c *Core) hbApply(tpl *hbTemplate, now int64, pos int) {
 			c.fpDivBusy[k][i] += dc
 		}
 	}
-	c.lastCommitAt = now + tpl.lastCommitOff
-	h.ts.pos = pos + tpl.dg
 }
 
 // hbShiftUOp moves one live uop dg instructions and dc cycles forward.
@@ -738,10 +907,10 @@ func (c *Core) hbApply(tpl *hbTemplate, now int64, pos int) {
 // stale (producer committed) shift their GSeq too — the stored value is
 // provably below the window, so the shifted value still mismatches every
 // live slot and keeps reading as "architecturally ready".
-func (c *Core) hbShiftUOp(u *UOp, dg uint64, dc int64) {
+func (c *Core) hbShiftUOp(u *UOp, tr *trace.Trace, dg uint64, dc int64) {
 	g := u.Item.GSeq + dg
 	u.Item.GSeq = g
-	u.Item.DI = c.hb.tr.At(int(g))
+	u.Item.DI = tr.At(int(g))
 	if u.completeAt != notReady {
 		u.completeAt += dc
 	}
@@ -751,6 +920,12 @@ func (c *Core) hbShiftUOp(u *UOp, dg uint64, dc int64) {
 	u.dispatchReady += dc
 	u.issuedAt += dc
 	u.fetchedAt += dc
+	// extWaitAt is a cycle time once the uop has polled an external
+	// producer (pair mode); the -2 "never polled" sentinel stays put. A
+	// stale stamp (< now-1, unobservable) stays stale after the shift.
+	if u.extWaitAt >= 0 {
+		u.extWaitAt += dc
+	}
 	if u.waitingOn != freedGSeq {
 		u.waitingOn += dg
 	}
@@ -783,6 +958,11 @@ func (c *Core) hbQuickState(now int64) hbQuick {
 	}
 }
 
+// HBQuickVec exposes the quick-state prefilter to the pair engine.
+func (c *Core) HBQuickVec(now int64) [8]int32 {
+	return [8]int32(c.hbQuickState(now))
+}
+
 // hbEncode writes the core's normalized state vector at a drain top
 // into the controller's reusable buffer. Times are relative to now,
 // sequence numbers to pos; values whose exact magnitude is
@@ -793,17 +973,24 @@ func (c *Core) hbQuickState(now int64) hbQuick {
 // (explicit flags and source counts), so streams of different layouts
 // can never alias.
 //
-// Deliberate omissions, each proven unobservable at a drain top with
-// nil hooks: extWaitAt (≡ -2: no external polls without hooks),
+// Deliberate omissions, each proven unobservable at a drain top:
 // speculative/mispredicted flags (read only by hooks/squash paths whose
-// absence the template guarantees), the waiter chains (derивable from
+// absence the template guarantees), the waiter chains (derivable from
 // waitingOn; order is immaterial because wake walks filter by GSeq),
 // the candidate list and lq/sq membership (derivable from the ROB), the
 // pool (invisible until allocated), and hasViolation (always false
 // between cycles).
 func (c *Core) hbEncode(now int64, pos int) []int64 {
 	h := c.hb
-	v := h.vecbuf[:0]
+	h.vecbuf = c.HBEncodeState(h.vecbuf[:0], now, pos)
+	return h.vecbuf
+}
+
+// HBEncodeState appends the core's normalized state vector at a drain
+// top to v (see hbEncode). The pair engine calls it for both cores into
+// one joint vector; the single-core engine wraps it with a reusable
+// buffer.
+func (c *Core) HBEncodeState(v []int64, now int64, pos int) []int64 {
 	p := int64(pos)
 	bypass := int64(c.cfg.CrossClusterBypass)
 
@@ -878,7 +1065,15 @@ func (c *Core) hbEncode(now int64, pos int) []int64 {
 			if u.wakeAt != sleepForever {
 				wk = clamp0(u.wakeAt - now)
 			}
-			v = append(v, 0, int64(u.waitSrc), wk, offG(u.waitingOn), int64(u.nsrc))
+			// extWaitAt matters only through the attribution test
+			// `extWaitAt >= now-1` (and only in pair mode, where channel
+			// polls stamp it); older stamps — and the -2 "never polled"
+			// sentinel — read identically and collapse to hbNone.
+			ew := int64(hbNone)
+			if u.extWaitAt >= now-1 {
+				ew = u.extWaitAt - now
+			}
+			v = append(v, 0, int64(u.waitSrc), wk, ew, offG(u.waitingOn), int64(u.nsrc))
 			for s := 0; s < u.nsrc; s++ {
 				if pr := u.prods[s]; pr != nil && pr.Item.GSeq == u.prodGSeq[s] {
 					v = append(v, int64(u.prodGSeq[s])-p)
@@ -907,9 +1102,34 @@ func (c *Core) hbEncode(now int64, pos int) []int64 {
 		u := c.defq.at(i)
 		v = append(v, int64(u.Item.GSeq)-p, u.completeAt-now, int64(u.Cluster))
 	}
-	h.vecbuf = v
 	return v
 }
+
+// ---------------------------------------------------- pair-engine hooks
+
+// The Fg-STP pair engine (internal/core) drives a joint capture/replay
+// across both cores from outside this package; these accessors expose
+// exactly the per-core pieces it needs and nothing else.
+
+// HBReportDelta returns the core's report minus base, field by field.
+func (c *Core) HBReportDelta(base *Report) Report {
+	return reportDelta(&c.rpt, base)
+}
+
+// HBAddReport bulk-applies a captured report delta.
+func (c *Core) HBAddReport(d *Report) {
+	addReport(&c.rpt, d)
+}
+
+// HBLastCommitAt returns the cycle of the core's most recent commit
+// (the drain watchdog's progress anchor).
+func (c *Core) HBLastCommitAt() int64 { return c.lastCommitAt }
+
+// HBSetLastCommitAt restores the progress anchor after a bulk replay.
+func (c *Core) HBSetLastCommitAt(t int64) { c.lastCommitAt = t }
+
+// HBDepPred returns the core's memory-dependence predictor.
+func (c *Core) HBDepPred() *DepPred { return c.dep }
 
 // ------------------------------------------------------ report algebra
 

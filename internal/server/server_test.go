@@ -564,6 +564,63 @@ func TestLifecycle(t *testing.T) {
 	}
 }
 
+// metricValue extracts one "name value" sample from a /metricz body.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		var n string
+		var v float64
+		if _, err := fmt.Sscanf(line, "%s %g", &n, &v); err == nil && n == name {
+			return v
+		}
+	}
+	t.Fatalf("metricz missing %q:\n%s", name, body)
+	return 0
+}
+
+// hotblockLines extracts the hotblock_* samples of a /metricz body for
+// whole-section comparison.
+func hotblockLines(body string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "hotblock_") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestMetriczHotBlock: an engine-backed sim request folds its hot-block
+// replay telemetry into the daemon aggregate — nonzero pair-template
+// counters for a loop-heavy Fg-STP run — and a cached repeat, which
+// simulates nothing, leaves the aggregate untouched.
+func TestMetriczHotBlock(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	req := SimRequest{Workload: "mcf", Machine: "medium", Insts: 20_000, Mode: "fgstp", Format: "json"}
+	if w := post(t, s, "/v1/sim", "t", req); w.Code != http.StatusOK {
+		t.Fatalf("sim = %d\n%s", w.Code, w.Body.String())
+	}
+	body := get(t, s, "/metricz").Body.String()
+	for _, name := range []string{
+		"hotblock_templates",
+		"hotblock_templates_pair",
+		"hotblock_replays_pair",
+		"hotblock_replayed_insts",
+	} {
+		if metricValue(t, body, name) == 0 {
+			t.Errorf("metricz %s = 0 after an Fg-STP run that should replay:\n%s", name, hotblockLines(body))
+		}
+	}
+	w := post(t, s, "/v1/sim", "t", req)
+	if c := w.Header().Get(HeaderCache); c != "hit" {
+		t.Fatalf("repeat cache state = %q, want hit", c)
+	}
+	after := get(t, s, "/metricz").Body.String()
+	if a, b := hotblockLines(body), hotblockLines(after); a != b {
+		t.Errorf("cached repeat moved the hot-block aggregate\n before: %s\n after:  %s", a, b)
+	}
+}
+
 // TestMetricz: counters reflect traffic and render deterministically.
 func TestMetricz(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, CacheDir: t.TempDir(), Exec: instantExec{}})

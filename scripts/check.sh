@@ -18,9 +18,15 @@
 #   json smoke      fgstpbench -format json must emit a valid export
 #                   (scripts/jsoncheck) byte-identical across -jobs,
 #                   and fgstpsim -tracejson a valid Chrome trace
-#   hotblock smoke  fgstpbench output must be byte-identical with
-#                   hot-block memoization on and off, at -jobs 1 and 4
-#                   (replay is a pure speedup, never a result change)
+#   hotblock smoke  fgstpbench -experiment all output must be
+#                   byte-identical with hot-block memoization on and
+#                   off, at -jobs 1 and 4 (replay is a pure speedup,
+#                   never a result change) — the full-suite run covers
+#                   the fgstp mode, whose pair templates now replay;
+#                   plus coverage floors: an fgstp workload must replay
+#                   pair templates and a streaming workload must arm
+#                   periodic-miss templates (nonzero counters in the
+#                   fgstpsim footer)
 #   sampled smoke   scripts/simpointcheck on a fixed workload set: the
 #                   checkpointed SimPoint estimate's 95% confidence
 #                   interval must contain the full-run IPC in every
@@ -85,15 +91,43 @@ go build -o "$tmp/fgstpsim" ./cmd/fgstpsim
 grep -q '"traceEvents"' "$tmp/pipe.json" || {
     echo "pipeline trace missing traceEvents"; exit 1; }
 
-echo "== hot-block byte-identity smoke (-hotblock=0 vs on, jobs 1 vs 4)"
-"$tmp/fgstpbench" -experiment E2 -insts 3000 -format json -hotblock=0 -jobs 1 \
-    >"$tmp/nohb1.json" 2>/dev/null
-"$tmp/fgstpbench" -experiment E2 -insts 3000 -format json -hotblock=0 -jobs 4 \
-    >"$tmp/nohb4.json" 2>/dev/null
-cmp "$tmp/nohb1.json" "$tmp/nohb4.json" || {
-    echo "-hotblock=0 export differs between -jobs 1 and -jobs 4"; exit 1; }
-cmp "$tmp/export1.json" "$tmp/nohb1.json" || {
-    echo "export differs between -hotblock on and off"; exit 1; }
+echo "== hot-block byte-identity smoke (all experiments, -hotblock=0 vs on, jobs 1 vs 4)"
+# -experiment all covers every mode, including fgstp cells whose pair
+# templates arm and replay at this budget — the byte-identity therefore
+# proves the joint pair engine, not just the per-core one.
+"$tmp/fgstpbench" -experiment all -insts 3000 -format json -jobs 1 \
+    >"$tmp/allhb1.json" 2>/dev/null
+"$tmp/fgstpbench" -experiment all -insts 3000 -format json -jobs 4 \
+    >"$tmp/allhb4.json" 2>/dev/null
+cmp "$tmp/allhb1.json" "$tmp/allhb4.json" || {
+    echo "-experiment all export differs between -jobs 1 and -jobs 4"; exit 1; }
+"$tmp/fgstpbench" -experiment all -insts 3000 -format json -hotblock=0 -jobs 1 \
+    >"$tmp/allnohb1.json" 2>/dev/null
+"$tmp/fgstpbench" -experiment all -insts 3000 -format json -hotblock=0 -jobs 4 \
+    >"$tmp/allnohb4.json" 2>/dev/null
+cmp "$tmp/allnohb1.json" "$tmp/allnohb4.json" || {
+    echo "-hotblock=0 -experiment all export differs between -jobs 1 and -jobs 4"; exit 1; }
+cmp "$tmp/allhb1.json" "$tmp/allnohb1.json" || {
+    echo "-experiment all export differs between -hotblock on and off"; exit 1; }
+
+echo "== hot-block coverage smoke (fgstp pair replay, streaming periodic-miss)"
+# The fgstp pair must replay joint templates on a loop-heavy workload,
+# and a streaming workload (mcf's pointer chase misses the L1 on every
+# iteration) must arm periodic-miss templates — both were 0 by design
+# before the pair/periodic-miss template kinds existed.
+"$tmp/fgstpsim" -workload hmmer -insts 20000 -machine medium -mode fgstp \
+    -format json >/dev/null 2>"$tmp/hb_hmmer.log"
+pair="$(sed -n 's/.*, \([0-9][0-9]*\) pair replays)$/\1/p' "$tmp/hb_hmmer.log")"
+[ -n "$pair" ] && [ "$pair" -gt 0 ] || {
+    echo "fgstp mode replayed no pair templates on hmmer"; cat "$tmp/hb_hmmer.log"; exit 1; }
+"$tmp/fgstpsim" -workload mcf -insts 20000 -machine medium -mode fgstp \
+    -format json >/dev/null 2>"$tmp/hb_mcf.log"
+periodic="$(awk '$2 == "hotblock_templates_periodic" {print int($3)}' "$tmp/hb_mcf.log")"
+[ -n "$periodic" ] && [ "$periodic" -gt 0 ] || {
+    echo "streaming workload mcf armed no periodic-miss templates"; cat "$tmp/hb_mcf.log"; exit 1; }
+pair="$(sed -n 's/.*, \([0-9][0-9]*\) pair replays)$/\1/p' "$tmp/hb_mcf.log")"
+[ -n "$pair" ] && [ "$pair" -gt 0 ] || {
+    echo "streaming workload mcf replayed no pair templates"; cat "$tmp/hb_mcf.log"; exit 1; }
 
 echo "== sampled-accuracy smoke (estimate CI covers full-run IPC)"
 go run ./scripts/simpointcheck
